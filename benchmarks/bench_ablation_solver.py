@@ -1,0 +1,124 @@
+"""E16 — ablation: constraint-solving and pruning strategies.
+
+Two design choices from DESIGN.md, measured:
+
+* ``Solve`` via Horn least-model propagation vs complete branching on
+  atoms — identical verdicts (tested), very different asymptotics;
+* constraint pruning at ``let`` boundaries vs the paper's literal
+  accumulate-everything — identical acceptance (tested elsewhere), but
+  pruning keeps carried constraints small on let-heavy programs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.constraints import (
+    CLoc,
+    FALSE,
+    conj,
+    imp,
+    is_satisfiable,
+    is_satisfiable_branching,
+)
+from repro.core.infer import Inferencer
+from repro.core.schemes import TypeEnv
+from repro.lang.parser import parse_expression as parse
+
+from _util import write_table
+
+
+def _chain_constraint(n: int):
+    """L(a0) => L(a1) => ... plus a goal on the last atom: n atoms."""
+    parts = [imp(CLoc(f"a{i}"), CLoc(f"a{i+1}")) for i in range(n - 1)]
+    parts.append(imp(CLoc(f"a{n-1}"), FALSE))
+    parts.append(CLoc("a0"))
+    return conj(*parts)
+
+
+def test_horn_vs_branching(benchmark):
+    rows = []
+    for n in (4, 8, 12, 16, 20):
+        constraint = _chain_constraint(n)
+        expected = is_satisfiable_branching(constraint)
+        assert is_satisfiable(constraint) == expected
+
+        start = time.perf_counter()
+        for _ in range(50):
+            is_satisfiable(constraint)
+        horn_time = (time.perf_counter() - start) / 50
+
+        start = time.perf_counter()
+        repeats = 5 if n <= 16 else 1
+        for _ in range(repeats):
+            is_satisfiable_branching(constraint)
+        branch_time = (time.perf_counter() - start) / repeats
+
+        rows.append(
+            (n, f"{horn_time * 1e6:.1f}", f"{branch_time * 1e6:.1f}",
+             f"{branch_time / horn_time:.1f}x")
+        )
+    write_table(
+        "ablation_solver",
+        "Ablation — Solve by Horn propagation vs complete branching "
+        "(unsatisfiable implication chains, time in microseconds)",
+        ("atoms", "horn (us)", "branching (us)", "slowdown"),
+        rows,
+        footer="Same verdicts always (property-tested); branching is "
+        "exponential on chains, Horn propagation stays linear.",
+    )
+    constraint = _chain_constraint(12)
+    benchmark(lambda: is_satisfiable(constraint))
+
+
+def _let_tower(n: int) -> str:
+    """n nested lets, each binding a small polymorphic function."""
+    lines = []
+    for i in range(n):
+        lines.append(f"let f{i} = fun x -> (x, {i}) in")
+    lines.append("f0 true")
+    return "\n".join(lines)
+
+
+def test_pruned_vs_unpruned_inference(benchmark):
+    rows = []
+    for n in (5, 10, 20, 40):
+        expr = parse(_let_tower(n))
+
+        start = time.perf_counter()
+        engine = Inferencer(prune=True)
+        ct_pruned, _ = engine.infer(TypeEnv.empty(), expr)
+        pruned_time = time.perf_counter() - start
+        pruned_size = _constraint_size(engine.subst.apply_constrained(ct_pruned))
+
+        start = time.perf_counter()
+        engine = Inferencer(prune=False)
+        ct_full, _ = engine.infer(TypeEnv.empty(), expr)
+        full_time = time.perf_counter() - start
+        full_size = _constraint_size(engine.subst.apply_constrained(ct_full))
+
+        rows.append(
+            (n, pruned_size, full_size,
+             f"{pruned_time * 1e3:.1f}", f"{full_time * 1e3:.1f}")
+        )
+    write_table(
+        "ablation_pruning",
+        "Ablation — constraint pruning at let boundaries "
+        "(n nested polymorphic lets; constraint size in conjuncts)",
+        ("lets", "pruned |C|", "unpruned |C|", "pruned ms", "unpruned ms"),
+        rows,
+        footer="Acceptance is identical (property-tested); the paper's "
+        "literal rules accumulate every sub-derivation's constraints, "
+        "pruning projects dead variables out at each let.",
+    )
+    expr = parse(_let_tower(20))
+    benchmark(lambda: Inferencer(prune=True).infer(TypeEnv.empty(), expr))
+
+
+def _constraint_size(ct) -> int:
+    from repro.core.constraints import CAnd
+
+    constraint = ct.constraint
+    if isinstance(constraint, CAnd):
+        return len(constraint.conjuncts)
+    return 1

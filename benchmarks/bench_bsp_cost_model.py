@@ -1,0 +1,128 @@
+"""E14 — the BSP cost model of section 2: ``Time(s) = max w + max h*g + l``.
+
+Regenerates the superstep-cost decomposition over a family of h-relations
+(1-relations, one-to-all, all-to-one, total exchange) and over
+multi-superstep programs, checking the model's algebra holds in the
+simulator, and benchmarks a full superstep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.machine import BspMachine
+from repro.bsp.network import h_relation_of_matrix, one_relation
+from repro.bsp.params import BspParams
+from repro.bsml.primitives import Bsml
+from repro.bsml.stdlib import scan, totex
+
+from _util import write_table
+
+P = 8
+PARAMS = BspParams(p=P, g=2.0, l=100.0)
+
+
+def _patterns():
+    one = [[0] * P for _ in range(P)]
+    for i in range(P):
+        one[i][(i + 1) % P] = 1
+    one_to_all = [[0] * P for _ in range(P)]
+    for j in range(1, P):
+        one_to_all[0][j] = 1
+    all_to_one = [[0] * P for _ in range(P)]
+    for i in range(1, P):
+        all_to_one[i][0] = 1
+    total = [[1] * P for _ in range(P)]
+    return {
+        "1-relation (shift)": (one, 1),
+        "one-to-all (bcast)": (one_to_all, P - 1),
+        "all-to-one (gather)": (all_to_one, P - 1),
+        "total exchange": (total, P - 1),
+    }
+
+
+def test_h_relation_family(benchmark):
+    rows = []
+    for name, (matrix, expected_h) in _patterns().items():
+        relation = h_relation_of_matrix(matrix)
+        assert relation.h == expected_h, name
+        cost = expected_h * PARAMS.g + PARAMS.l
+        rows.append((name, relation.h, f"{cost:.0f}"))
+    write_table(
+        "bsp_h_relations",
+        f"Section 2 — h-relations and their delivery cost h*g + l "
+        f"(p={P}, g={PARAMS.g}, l={PARAMS.l})",
+        ("pattern", "h", "comm+sync cost"),
+        rows,
+        footer="h = max_i max(words sent_i, words received_i): one-to-all "
+        "and all-to-one cost the same as a full total exchange of "
+        "1-word messages — the BSP model's point about balance.",
+    )
+    matrix = _patterns()["total exchange"][0]
+    benchmark(lambda: h_relation_of_matrix(matrix))
+
+
+def test_superstep_time_formula(benchmark):
+    """Time(s) = max_i w_i + max_i h_i * g + l, summed over supersteps."""
+    machine = BspMachine(PARAMS)
+    machine.local(0, 10)
+    machine.local(3, 25)
+    machine.exchange(_patterns()["1-relation (shift)"][0])
+    machine.replicated(5)
+    machine.exchange(_patterns()["total exchange"][0])
+    cost = machine.cost()
+    expected = (25 + 1 * PARAMS.g + PARAMS.l) + (5 + (P - 1) * PARAMS.g + PARAMS.l)
+    assert cost.total(PARAMS) == pytest.approx(expected)
+    assert cost.check_decomposition(PARAMS)
+    write_table(
+        "bsp_superstep_decomposition",
+        "Section 2 — a two-superstep program's cost decomposition",
+        ("superstep", "max w", "h", "time"),
+        [
+            (i, step.w_max, step.h, f"{step.time(PARAMS):.0f}")
+            for i, step in enumerate(cost.supersteps)
+        ],
+        footer=f"total = W + H*g + S*l = {cost.total(PARAMS):.0f}",
+    )
+
+    def one_superstep():
+        m = BspMachine(PARAMS)
+        m.replicated(3)
+        m.exchange(_patterns()["total exchange"][0])
+        return m.total_time()
+
+    benchmark(one_superstep)
+
+
+def test_superstep_counts_of_stdlib(benchmark):
+    """S (number of barriers) for each stdlib operation, vs prediction."""
+    import math
+
+    expectations = []
+    for p in (2, 4, 8, 16):
+        params = BspParams(p=p)
+        ctx = Bsml(params)
+        vector = ctx.mkpar(lambda i: i)
+        ctx.reset_cost()
+        totex(ctx, vector)
+        s_totex = ctx.cost().S
+        ctx2 = Bsml(params)
+        vector2 = ctx2.mkpar(lambda i: i)
+        ctx2.reset_cost()
+        scan(ctx2, lambda a, b: a + b, vector2)
+        s_scan = ctx2.cost().S
+        assert s_totex == 1
+        assert s_scan == math.ceil(math.log2(p))
+        expectations.append((p, s_totex, s_scan, math.ceil(math.log2(p))))
+    write_table(
+        "bsp_superstep_counts",
+        "Superstep counts: totex (1) vs log-scan (ceil(log2 p))",
+        ("p", "S totex", "S scan", "log2(p)"),
+        expectations,
+    )
+
+    def run_scan():
+        ctx = Bsml(BspParams(p=8))
+        scan(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: i))
+
+    benchmark(run_scan)

@@ -1,0 +1,111 @@
+"""E1 + E2 — Figures 1 and 2: the delta-rules, fired and timed.
+
+Regenerates a table with one row per delta-rule showing a concrete redex
+and its reduct, at several machine sizes for the parallel rules, and
+benchmarks a representative local and parallel reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import Const, Fun, Pair, ParVec, Prim, Var, App, NC
+from repro.lang.parser import parse_expression as parse
+from repro.lang.pretty import pretty
+from repro.semantics.delta import delta_local
+from repro.semantics.delta_parallel import delta_apply, delta_mkpar, delta_put
+from repro.semantics.smallstep import evaluate, step
+
+from _util import write_table
+
+LOCAL_CASES = [
+    ("+", "1 + 2", "3"),
+    ("-", "5 - 9", "-4"),
+    ("*", "6 * 7", "42"),
+    ("/", "7 / 2", "3"),
+    ("mod", "7 mod 2", "1"),
+    ("=", "1 = 1", "true"),
+    ("<", "2 < 1", "false"),
+    ("&&", "true && false", "false"),
+    ("not", "not true", "false"),
+    ("fst", "fst (1, 2)", "1"),
+    ("snd", "snd (1, 2)", "2"),
+    ("isnc/other", "isnc 3", "false"),
+    ("isnc/nc", "isnc (nc ())", "true"),
+    ("fix", "(fix (fun f -> fun n -> if n = 0 then 1 else n * f (n - 1))) 4", "24"),
+]
+
+
+def test_figure1_local_delta_rules(benchmark):
+    rows = []
+    for rule, source, expected in LOCAL_CASES:
+        value = evaluate(parse(source), 2)
+        assert pretty(value) == expected, rule
+        rows.append((rule, source, pretty(value)))
+    write_table(
+        "fig1_local_delta_rules",
+        "Figure 1 — local delta-rules (each fired on a concrete redex)",
+        ("rule", "redex", "value"),
+        rows,
+    )
+    redex = App(Prim("+"), Pair(Const(1), Const(2)))
+    benchmark(lambda: delta_local("+", redex.arg))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_figure2_parallel_delta_rules(benchmark, p):
+    rows = []
+    mk = delta_mkpar(Fun("x", Var("x")), p)
+    assert mk == ParVec(tuple(Const(i) for i in range(p)))
+    rows.append(("mkpar", f"mkpar (fun x -> x)", pretty(mk)))
+
+    fns = ParVec(tuple(Fun("x", Const(i)) for i in range(p)))
+    args = ParVec(tuple(Const(0) for _ in range(p)))
+    ap = delta_apply(Pair(fns, args), p)
+    assert ap == ParVec(tuple(Const(i) for i in range(p)))
+    rows.append(("apply", "apply (<fun x -> i>, <0>)", pretty(ap)))
+
+    senders = ParVec(tuple(Fun("dst", Const(j)) for j in range(p)))
+    put_result = delta_put(senders, p)
+    assert put_result is not None and put_result.width == p
+    rows.append(("put", "put <fun dst -> j>", f"<{p} let-chains (Fig 2 shape)>"))
+
+    ifat_source = (
+        "if mkpar (fun i -> i = 0) at 0 then mkpar (fun i -> 1)"
+        " else mkpar (fun i -> 0)"
+    )
+    ifat_value = evaluate(parse(ifat_source), p)
+    assert ifat_value == ParVec(tuple(Const(1) for _ in range(p)))
+    rows.append(("ifat", ifat_source[:40] + "...", pretty(ifat_value)))
+
+    write_table(
+        f"fig2_parallel_delta_rules_p{p}",
+        f"Figure 2 — parallel delta-rules at p = {p}",
+        ("rule", "redex", "value"),
+        rows,
+    )
+    benchmark(lambda: delta_mkpar(Fun("x", Var("x")), p))
+
+
+def test_put_rule_matches_figure2_shape(benchmark):
+    """The put reduct is the exact let-chain + if-cascade of Figure 2."""
+    p = 2
+    senders = ParVec((Fun("dst", Const(10)), Fun("dst", Const(20))))
+    reduct = delta_put(senders, p)
+    text = pretty(reduct)
+    # let-chain of one message per sender, then the delivered function.
+    assert text.count("let") == p * p
+    assert "nc ()" in text
+    assert "if x = 0 then" in text
+    benchmark(lambda: delta_put(senders, p))
+
+
+def test_one_full_reduction_sequence(benchmark):
+    """Benchmark the small-step machine end to end on a parallel program."""
+    expr = parse("apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> i))")
+
+    def reduce():
+        return evaluate(expr, 4)
+
+    value = benchmark(reduce)
+    assert value == ParVec((Const(0), Const(2), Const(4), Const(6)))

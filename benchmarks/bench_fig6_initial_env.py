@@ -1,0 +1,66 @@
+"""E4 — Figure 6: the initial environment ``TC``.
+
+Regenerates the figure as a table (name, scheme) and benchmarks
+instantiation, which the (Var)/(Op)/(Const) rules perform at every leaf
+of every derivation.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import is_satisfiable, render_constraint
+from repro.core.initial_env import PRIMITIVE_SCHEMES
+from repro.core.schemes import instantiate
+from repro.core.types import _variable_display_names, render_type
+
+from _util import write_table
+
+#: Figure 6's entries, in the paper's order, with the expected rendering.
+FIGURE6_EXPECTED = {
+    "fix": ("('a -> 'a) -> 'a", "True"),
+    "fst": ("'a * 'b -> 'a", "L('a) => L('b)"),
+    "snd": ("'a * 'b -> 'b", "L('b) => L('a)"),
+    "+": ("int * int -> int", "True"),
+    "nc": ("unit -> 'a", "True"),
+    "isnc": ("'a -> bool", "L('a)"),
+    "mkpar": ("(int -> 'a) -> 'a par", "L('a)"),
+    "apply": ("('a -> 'b) par * 'a par -> 'b par", "L('a) /\\ L('b)"),
+    "put": ("(int -> 'a) par -> (int -> 'a) par", "L('a)"),
+}
+
+
+def _render(name):
+    scheme = PRIMITIVE_SCHEMES[name]
+    names = _variable_display_names(scheme.body.type)
+    ty = render_type(scheme.body.type, names)
+    constraint = render_constraint(scheme.body.constraint, names)
+    return ty, constraint
+
+
+def test_figure6_table(benchmark):
+    rows = []
+    for name in FIGURE6_EXPECTED:
+        ty, constraint = _render(name)
+        expected_ty, expected_constraint = FIGURE6_EXPECTED[name]
+        assert ty == expected_ty, name
+        assert constraint == expected_constraint, name
+        rows.append((name, ty, constraint))
+    for name in sorted(set(PRIMITIVE_SCHEMES) - set(FIGURE6_EXPECTED)):
+        ty, constraint = _render(name)
+        rows.append((name, ty, constraint))
+    write_table(
+        "fig6_initial_env",
+        "Figure 6 — the initial environment TC (paper rows first, then the "
+        "remaining operators)",
+        ("op", "type", "constraint"),
+        rows,
+    )
+    benchmark(lambda: instantiate(PRIMITIVE_SCHEMES["apply"]))
+
+
+def test_every_instantiation_is_satisfiable(benchmark):
+    def instantiate_all():
+        for scheme in PRIMITIVE_SCHEMES.values():
+            ct = instantiate(scheme)
+            assert is_satisfiable(ct.constraint)
+
+    benchmark(instantiate_all)

@@ -1,0 +1,102 @@
+"""E5 + E11 — Figure 7: the typing rules, exercised and timed.
+
+Runs inference over a corpus chosen to exercise every rule of Figure 7,
+reports the rule coverage, regenerates section 4's "parallel identity"
+scheme ``[a -> a / L(a) => False]``, and benchmarks whole-corpus
+inference.
+"""
+
+from __future__ import annotations
+
+from repro.core.infer import Derivation, infer, infer_scheme, infer_with_derivation
+from repro.core.prelude_env import prelude_env
+from repro.core.types import render_type
+from repro.lang.parser import parse_expression as parse, parse_program
+from repro.lang.prelude import with_prelude
+from repro.testing.generators import well_typed_corpus
+
+from _util import write_table
+
+#: One witness program per rule of Figure 7.
+RULE_WITNESSES = {
+    "Var": "let x = 1 in x",
+    "Const": "42",
+    "Op": "(+)",
+    "Fun": "fun x -> x",
+    "App": "(fun x -> x) 1",
+    "Let": "let y = 2 in y + y",
+    "Pair": "(1, true)",
+    "Ifthenelse": "if true then 1 else 2",
+    "Ifat": "if mkpar (fun i -> true) at 0 then mkpar (fun i -> 1)"
+            " else mkpar (fun i -> 2)",
+}
+
+
+def _rules_used(derivation: Derivation) -> set:
+    rules = {derivation.rule}
+    for premise in derivation.premises:
+        rules |= _rules_used(premise)
+    return rules
+
+
+def test_every_rule_of_figure7_fires(benchmark):
+    rows = []
+    for rule, source in RULE_WITNESSES.items():
+        ct, derivation = infer_with_derivation(parse(source))
+        assert rule in _rules_used(derivation), rule
+        rows.append((rule, source[:48], render_type(ct.type)))
+    write_table(
+        "fig7_rule_coverage",
+        "Figure 7 — every typing rule fired by a witness program",
+        ("rule", "witness", "type"),
+        rows,
+    )
+    benchmark(lambda: infer(parse(RULE_WITNESSES["Ifat"])))
+
+
+def test_section4_parallel_identity(benchmark):
+    source = "fun x -> if mkpar (fun i -> true) at 0 then x else x"
+    scheme = infer_scheme(parse(source))
+    text = str(scheme)
+    assert "'a -> 'a" in text
+    assert "L('a) => False" in text
+    write_table(
+        "fig7_parallel_identity",
+        "Section 4 — the parallel identity needs a non-basic constraint",
+        ("expression", "inferred scheme"),
+        [(source, text)],
+        footer=(
+            "The basic constraints alone would give L('a) => L('a) = True; "
+            "the (Ifat) rule's L(tau) => False forbids local instantiation."
+        ),
+    )
+    benchmark(lambda: infer_scheme(parse(source)))
+
+
+def test_corpus_inference(benchmark):
+    env = prelude_env()
+    programs = [parse_program(source) for source in well_typed_corpus()]
+
+    def infer_corpus():
+        for program in programs:
+            infer(program, env)
+
+    benchmark(infer_corpus)
+
+
+def test_prelude_environment_construction(benchmark):
+    """Typing the whole 12-definition prelude from scratch."""
+    from repro.core.schemes import TypeEnv, generalize
+    from repro.lang.prelude import prelude_asts
+
+    definitions = prelude_asts()
+
+    def build():
+        env = TypeEnv.empty()
+        for name, body in definitions:
+            ct = infer(body, env)
+            env = env.extend(name, generalize(ct, env))
+        return env
+
+    env = benchmark(build)
+    assert env.lookup("scan") is not None

@@ -1,0 +1,79 @@
+"""E6 + E9 — Figure 8: the rejection of example2 (and example1).
+
+Regenerates the figure's judgement: typing
+``fun pid -> let this = mkpar (fun i -> i) in pid`` under
+``E = {pid : int}`` fails at the (Let) rule with the unsatisfiable
+constraint ``L(int) => L(int par)``.  Also reproduces example1, whose
+nesting *is* visible in the (Milner) type, and benchmarks the rejection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NestingError
+from repro.core.infer import infer
+from repro.core.judgments import explain
+from repro.core.milner import milner_infer
+from repro.core.prelude_env import prelude_env
+from repro.core.schemes import TypeEnv, mono
+from repro.core.types import INT, render_type
+from repro.lang.parser import parse_expression as parse, parse_program
+from repro.lang.prelude import with_prelude
+
+from _util import save_text
+
+EXAMPLE2 = "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)"
+EXAMPLE1 = "mkpar (fun pid -> bcast pid (mkpar (fun i -> i)))"
+
+
+def test_figure8_derivation(benchmark):
+    env = TypeEnv.empty().extend("pid", mono(INT))
+    explanation = explain(parse("let this = mkpar (fun i -> i) in pid"), env)
+    assert not explanation.accepted
+    assert explanation.derivation.rule == "Let"
+    tree = explanation.render(max_width=120)
+    assert ": ?" in tree
+    from repro.core.latex import explanation_to_latex
+
+    save_text("fig8_latex", explanation_to_latex(explanation, standalone=True) + "\n")
+    save_text(
+        "fig8_example2_judgement",
+        "Figure 8 — the judgement of (a part of) example2, E = {pid : int}\n\n"
+        + tree
+        + "\n\nThe (Let) rule adds L(int) => L(int par) = True => False, so "
+        "Solve(C) = False and the derivation cannot be completed.\n",
+    )
+    benchmark(lambda: explain(parse(EXAMPLE2)))
+
+
+def test_example2_full_program_rejected(benchmark):
+    expr = parse(EXAMPLE2)
+    with pytest.raises(NestingError):
+        infer(expr)
+    assert render_type(milner_infer(expr)) == "int par"
+
+    def reject():
+        try:
+            infer(expr)
+            return False
+        except NestingError:
+            return True
+
+    assert benchmark(reject)
+
+
+def test_example1_rejected_with_nested_milner_type(benchmark):
+    expr = with_prelude(parse_program(EXAMPLE1))
+    with pytest.raises(NestingError):
+        infer(expr)
+    assert render_type(milner_infer(expr)) == "int par par"
+
+    def reject():
+        try:
+            infer(expr)
+            return False
+        except NestingError:
+            return True
+
+    assert benchmark(reject)

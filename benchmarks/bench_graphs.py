@@ -1,0 +1,86 @@
+"""E19 — BSP graph algorithms: superstep counts track graph depth.
+
+The BSP prediction for level-synchronous algorithms: barriers scale with
+the *depth* of the computation, not the data size.  This bench measures
+BFS supersteps across graph shapes of equal size but different depth, and
+label-propagation rounds against planted diameters.
+"""
+
+from __future__ import annotations
+
+from repro.bsp.params import BspParams
+from repro.bsml.algorithms import collect
+from repro.bsml.graphs import bfs, connected_components, distribute_graph
+from repro.bsml.primitives import Bsml
+
+from _util import write_table
+
+PARAMS = BspParams(p=4, g=2.0, l=100.0)
+
+
+def _shapes(n: int):
+    path = [(i, i + 1) for i in range(n - 1)]
+    star = [(0, i) for i in range(1, n)]
+    tree = [(i, 2 * i + 1) for i in range(n) if 2 * i + 1 < n]
+    tree += [(i, 2 * i + 2) for i in range(n) if 2 * i + 2 < n]
+    return {"path": path, "binary tree": tree, "star": star}
+
+
+def test_bfs_supersteps_scale_with_depth(benchmark):
+    n = 32
+    rows = []
+    measured = {}
+    for name, edges in _shapes(n).items():
+        ctx = Bsml(PARAMS)
+        graph = distribute_graph(ctx, n, edges)
+        ctx.reset_cost()
+        levels = collect(bfs(ctx, n, graph, 0))
+        depth = max(levels)
+        supersteps = ctx.cost().S
+        measured[name] = (depth, supersteps)
+        # One (fold + put) round per level plus trailing round + final fold.
+        assert supersteps == 2 * (depth + 1) + 1, name
+        rows.append((name, n, depth, supersteps))
+    assert measured["star"][1] < measured["binary tree"][1] < measured["path"][1]
+    write_table(
+        "graphs_bfs_depth",
+        f"BFS supersteps track graph depth, not size (n = {n}, p = {PARAMS.p})",
+        ("graph", "vertices", "depth", "supersteps"),
+        rows,
+        footer="S = 2*(depth+1) + 1 exactly: one fold+put round per level, "
+        "one empty trailing round, one quiescence fold.",
+    )
+
+    edges = _shapes(n)["binary tree"]
+
+    def run_bfs():
+        ctx = Bsml(PARAMS)
+        graph = distribute_graph(ctx, n, edges)
+        return collect(bfs(ctx, n, graph, 0))
+
+    benchmark(run_bfs)
+
+
+def test_components_rounds_scale_with_diameter(benchmark):
+    rows = []
+    for n in (8, 16, 32):
+        ctx = Bsml(PARAMS)
+        path = [(i, i + 1) for i in range(n - 1)]
+        graph = distribute_graph(ctx, n, path)
+        ctx.reset_cost()
+        labels = collect(connected_components(ctx, n, graph))
+        assert labels == [0] * n
+        rows.append((f"path({n})", n - 1, ctx.cost().S))
+    write_table(
+        "graphs_components_diameter",
+        "Label propagation: rounds grow with the diameter",
+        ("graph", "diameter", "supersteps"),
+        rows,
+    )
+
+    def run_components():
+        ctx = Bsml(PARAMS)
+        graph = distribute_graph(ctx, 16, [(i, i + 1) for i in range(15)])
+        return collect(connected_components(ctx, 16, graph))
+
+    benchmark(run_components)

@@ -1,0 +1,108 @@
+"""E17 — inference scalability: time vs program size.
+
+The paper reports having implemented its inference algorithm for use with
+BSMLlib; for that to be credible the algorithm must scale to real
+programs.  This bench times inference over generated programs of growing
+AST size and over increasingly deep/wide shapes, and records the curve.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.infer import infer
+from repro.core.prelude_env import prelude_env
+from repro.lang.parser import parse_expression as parse
+from repro.testing.generators import ProgramGenerator
+
+from _util import write_table
+
+
+def _generated_programs(target_sizes):
+    """Random programs bucketed by AST size."""
+    buckets = {size: [] for size in target_sizes}
+    seed = 0
+    while any(len(programs) < 3 for programs in buckets.values()) and seed < 4000:
+        depth = 3 + seed % 4
+        expr = ProgramGenerator(seed=seed, p_hint=2).expression(depth=depth)
+        size = expr.size()
+        for target in target_sizes:
+            if 0.6 * target <= size <= 1.6 * target and len(buckets[target]) < 3:
+                buckets[target].append(expr)
+                break
+        seed += 1
+    return buckets
+
+
+def test_scaling_on_random_programs(benchmark):
+    buckets = _generated_programs((30, 100, 250, 500))
+    rows = []
+    for target, programs in sorted(buckets.items()):
+        assert programs, f"no programs of size ~{target} generated"
+        sizes = [program.size() for program in programs]
+        start = time.perf_counter()
+        for program in programs:
+            infer(program)
+        elapsed = (time.perf_counter() - start) / len(programs)
+        rows.append(
+            (target, f"{sum(sizes)/len(sizes):.0f}", len(programs),
+             f"{elapsed * 1e3:.2f}")
+        )
+    write_table(
+        "inference_scaling_random",
+        "Inference time vs program size (random well-typed programs)",
+        ("size bucket", "mean AST nodes", "programs", "mean infer ms"),
+        rows,
+    )
+    sample = buckets[250][0]
+    benchmark(lambda: infer(sample))
+
+
+def _deep_let_program(n: int) -> str:
+    lines = [f"let x{i} = x{i-1} + {i} in" if i else "let x0 = 1 in" for i in range(n)]
+    lines.append(f"x{n-1}")
+    return "\n".join(lines)
+
+
+def _wide_application_program(n: int) -> str:
+    terms = " + ".join(f"f {i}" for i in range(n))
+    return f"let f = fun x -> x * 2 in {terms}"
+
+
+def test_scaling_shapes(benchmark):
+    rows = []
+    for n in (10, 50, 200, 500):
+        deep = parse(_deep_let_program(n))
+        start = time.perf_counter()
+        infer(deep)
+        deep_ms = (time.perf_counter() - start) * 1e3
+
+        wide = parse(_wide_application_program(n))
+        start = time.perf_counter()
+        infer(wide)
+        wide_ms = (time.perf_counter() - start) * 1e3
+        rows.append((n, f"{deep_ms:.2f}", f"{wide_ms:.2f}"))
+    write_table(
+        "inference_scaling_shapes",
+        "Inference time on adversarial shapes (n lets deep / n calls wide)",
+        ("n", "deep lets ms", "wide apps ms"),
+        rows,
+    )
+    program = parse(_deep_let_program(200))
+    benchmark(lambda: infer(program))
+
+
+def test_scaling_with_prelude_environment(benchmark):
+    """Typing a realistic parallel program against the prelude."""
+    env = prelude_env()
+    source = """
+        let sumpair = fun ab -> fst ab + snd ab in
+        let sums = scan sumpair (mkpar (fun i -> i + 1)) in
+        let top = bcast (nproc - 1) sums in
+        apply (mkpar (fun i -> fun t -> t - i), top)
+    """
+    expr = parse(source)
+    ct = benchmark(lambda: infer(expr, env))
+    from repro.core.types import render_type
+
+    assert render_type(infer(expr, env).type) == "int par"

@@ -1,0 +1,68 @@
+"""Macro benchmark: the full pipeline over the shipped program suite.
+
+Parse -> infer (with the prelude environment) -> evaluate with cost
+accounting, over every ``programs/*.bsml`` file — the end-to-end path a
+user of the library exercises.  Also reports per-program superstep
+structure as a summary table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import run_program, typecheck
+from repro.lang.parser import parse_program
+
+from _util import write_table
+
+PROGRAMS_DIR = Path(__file__).resolve().parents[1] / "programs"
+
+
+def _sources():
+    return {
+        path.name: path.read_text() for path in sorted(PROGRAMS_DIR.glob("*.bsml"))
+    }
+
+
+def test_program_suite_summary(benchmark):
+    rows = []
+    for name, source in _sources().items():
+        expr = parse_program(source, filename=name)
+        ct = typecheck(expr)
+        result = run_program(expr, p=8, g=2.0, l=100.0)
+        rows.append(
+            (
+                name,
+                str(ct.type),
+                result.cost.S,
+                result.cost.H,
+                f"{result.total_time:.0f}",
+            )
+        )
+    write_table(
+        "pipeline_program_suite",
+        "The shipped mini-BSML programs: type, supersteps, H, total time "
+        "(p=8, g=2, l=100)",
+        ("program", "type", "S", "H", "total"),
+        rows,
+    )
+    source = _sources()["odd_even_sort.bsml"]
+
+    def pipeline():
+        expr = parse_program(source)
+        typecheck(expr)
+        return run_program(expr, p=8)
+
+    benchmark(pipeline)
+
+
+def test_whole_suite_throughput(benchmark):
+    sources = _sources()
+
+    def run_all():
+        for name, source in sources.items():
+            expr = parse_program(source, filename=name)
+            typecheck(expr)
+            run_program(expr, p=4)
+
+    benchmark.pedantic(run_all, rounds=3, iterations=1)

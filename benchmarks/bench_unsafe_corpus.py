@@ -1,0 +1,101 @@
+"""E10 + E13 — the unsafe corpus: Milner vs the paper's type system.
+
+Regenerates the headline comparison table: every program of section 2.1
+(and variations) with three columns — the Milner verdict (accepts all,
+with the type it assigns), the BSML verdict (rejects all, with the
+failing rule), and the operational outcome of running it anyway.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import NestingError
+from repro.core.infer import infer
+from repro.core.milner import milner_infer
+from repro.core.types import render_type
+from repro.lang.parser import parse_program
+from repro.lang.prelude import with_prelude
+from repro.semantics.errors import EvalError, StuckError
+from repro.semantics.smallstep import evaluate
+from repro.testing.generators import CORPUS_REJECTED, ProgramGenerator
+
+from _util import write_table
+
+
+def _bsml_verdict(expr):
+    try:
+        infer(expr)
+        return "ACCEPT (bug!)"
+    except NestingError as error:
+        return f"reject ({error.rule})"
+
+
+def _dynamic_outcome(expr):
+    try:
+        evaluate(expr, 2)
+        return "runs; hidden vector materialized"
+    except StuckError as error:
+        if "dynamic nesting" in error.diagnosis:
+            return "stuck: dynamic nesting"
+        return "stuck"
+    except EvalError:
+        return "runtime error"
+
+
+def test_unsafe_corpus_table(benchmark):
+    rows = []
+    for source in CORPUS_REJECTED:
+        expr = with_prelude(parse_program(source))
+        milner = f"accept : {render_type(milner_infer(expr))}"
+        bsml = _bsml_verdict(expr)
+        assert bsml.startswith("reject"), source
+        rows.append((" ".join(source.split())[:58], milner, bsml, _dynamic_outcome(expr)))
+    write_table(
+        "unsafe_corpus",
+        f"Section 2.1 corpus — {len(CORPUS_REJECTED)} unsafe programs: "
+        "Milner accepts every one, the constrained system rejects every one",
+        ("program", "Milner (baseline)", "BSML system", "if run anyway"),
+        rows,
+    )
+    expr = with_prelude(parse_program(CORPUS_REJECTED[0]))
+    benchmark(lambda: _bsml_verdict(expr))
+
+
+def test_random_nesting_mutants(benchmark):
+    """100 generated example1/example2/fst-shaped mutants: Milner accepts
+    all, the constrained system rejects all."""
+    mutants = [
+        ProgramGenerator(seed=seed, p_hint=2).mutate_to_nesting(depth=3)
+        for seed in range(100)
+    ]
+    milner_accepts = 0
+    bsml_rejects = 0
+    for expr in mutants:
+        try:
+            milner_infer(expr)
+            milner_accepts += 1
+        except Exception:
+            pass
+        try:
+            infer(expr)
+        except NestingError:
+            bsml_rejects += 1
+    assert milner_accepts == 100
+    assert bsml_rejects == 100
+    write_table(
+        "unsafe_mutants",
+        "Random nesting mutants (n = 100)",
+        ("system", "accepts", "rejects"),
+        [
+            ("Milner / classic ML", milner_accepts, 100 - milner_accepts),
+            ("BSML constrained system", 100 - bsml_rejects, bsml_rejects),
+        ],
+    )
+
+    def reject_one():
+        try:
+            infer(mutants[0])
+            return False
+        except NestingError:
+            return True
+
+    assert benchmark(reject_one)

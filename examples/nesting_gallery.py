@@ -1,0 +1,69 @@
+"""The nesting gallery: every unsafe program from the paper, side by side.
+
+For each program of section 2.1 (and friends) this prints:
+
+* the verdict of classic Milner/ML typing (the baseline — accepts all);
+* the verdict of the paper's constrained type system (rejects all);
+* what actually happens if you run it anyway (dynamic nesting / silent
+  cost-model violation).
+
+Run with::
+
+    python examples/nesting_gallery.py
+"""
+
+from __future__ import annotations
+
+from repro.core import NestingError, explain, milner_infer, render_type
+from repro.core.infer import infer
+from repro.core.prelude_env import prelude_env
+from repro.lang import parse_program, with_prelude
+from repro.semantics.errors import EvalError, StuckError
+from repro.semantics.smallstep import evaluate
+from repro.testing.generators import CORPUS_REJECTED
+
+
+def dynamic_outcome(expr, p: int = 2) -> str:
+    try:
+        evaluate(expr, p)
+        return "runs, but materializes a hidden parallel vector (cost model broken)"
+    except StuckError as error:
+        if "dynamic nesting" in error.diagnosis:
+            return "STUCK: " + error.diagnosis.split(":")[1].strip()
+        return "STUCK: " + error.diagnosis
+    except EvalError as error:
+        return f"runtime error: {error}"
+
+
+def main() -> None:
+    print(f"{len(CORPUS_REJECTED)} unsafe programs "
+          "(section 2.1 of the paper and variations)\n")
+    for index, source in enumerate(CORPUS_REJECTED, start=1):
+        expr = with_prelude(parse_program(source))
+        flat = " ".join(source.split())
+        print(f"[{index}] {flat[:74]}")
+
+        milner = render_type(milner_infer(expr))
+        print(f"     Milner (baseline) : ACCEPTS at type {milner}")
+
+        try:
+            infer(expr)
+            print("     BSML type system  : ACCEPTS (BUG!)")
+        except NestingError as error:
+            print(
+                "     BSML type system  : REJECTS at rule "
+                f"({error.rule}), constraint unsatisfiable"
+            )
+
+        print(f"     if run anyway     : {dynamic_outcome(expr)}")
+        print()
+
+    print("One full derivation, for the fourth projection (Figure 10):\n")
+    explanation = explain(
+        with_prelude(parse_program("fst (1, mkpar (fun i -> i))"))
+    )
+    print(explanation.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: parse, typecheck, run and cost mini-BSML programs.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    NestingError,
+    run_program,
+    typecheck,
+    typecheck_scheme,
+)
+from repro.core import explain
+from repro.lang import parse_expression
+
+
+def main() -> None:
+    print("=" * 72)
+    print("1. Typechecking: the locality-constrained type system")
+    print("=" * 72)
+
+    for source in [
+        "fun x -> x + 1",
+        "mkpar (fun i -> i * i)",
+        "bcast",  # from the prelude
+        "fun x -> if mkpar (fun i -> true) at 0 then x else x",
+    ]:
+        print(f"  {source}")
+        print(f"    : {typecheck_scheme(source)}")
+
+    print()
+    print("=" * 72)
+    print("2. Rejection: the nesting examples of the paper's section 2.1")
+    print("=" * 72)
+
+    for source in [
+        "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)",  # example2
+        "fst (1, mkpar (fun i -> i))",  # fourth projection
+        "mkpar (fun pid -> bcast pid (mkpar (fun i -> i)))",  # example1
+    ]:
+        print(f"  {source}")
+        try:
+            typecheck(source)
+            raise AssertionError("should have been rejected!")
+        except NestingError as error:
+            print(f"    rejected: {error.bare_message[:70]}...")
+
+    print()
+    print("=" * 72)
+    print("3. Running with BSP cost accounting")
+    print("=" * 72)
+
+    result = run_program(
+        "scan (fun ab -> fst ab + snd ab) (mkpar (fun i -> i + 1))",
+        p=8,
+        g=2.0,
+        l=100.0,
+    )
+    print(f"  prefix sums over 8 processes: {result.python_value}")
+    print("  " + result.render().replace("\n", "\n  "))
+
+    print()
+    print("=" * 72)
+    print("4. A typing derivation (Figure 9 of the paper)")
+    print("=" * 72)
+    print(explain(parse_expression("fst (mkpar (fun i -> i), 1)")).render())
+
+
+if __name__ == "__main__":
+    main()

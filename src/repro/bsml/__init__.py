@@ -1,0 +1,104 @@
+"""BSMLlib for Python: the BSP primitives, stdlib and algorithms.
+
+Runtime counterpart of the paper's OCaml library, executing on the BSP
+machine simulator with full cost accounting.  Nesting of parallel vectors
+is rejected at runtime (the static guarantee lives in :mod:`repro.core`
+for mini-BSML programs).
+"""
+
+from repro.bsml.algorithms import (
+    block_distribute,
+    collect,
+    histogram,
+    inner_product,
+    matrix_multiply,
+    matrix_vector,
+    prefix_sums,
+    sample_sort,
+)
+from repro.bsml.graphs import (
+    UNREACHED,
+    bfs,
+    connected_components,
+    distribute_graph,
+)
+from repro.bsml.errors import (
+    BsmlError,
+    ForeignVectorError,
+    NestingViolation,
+    VectorWidthError,
+)
+from repro.bsml.predictions import (
+    cost_apply,
+    cost_bcast_direct,
+    cost_bcast_two_phase,
+    cost_mkpar,
+    cost_put,
+    cost_scan_direct,
+    cost_scan_log,
+    cost_shift,
+    cost_totex,
+)
+from repro.bsml.primitives import Bsml, ParVector
+from repro.bsml.sizes import words_of
+from repro.bsml.stdlib import (
+    applyat,
+    bcast_direct,
+    bcast_two_phase,
+    fold,
+    gather_to,
+    parfun,
+    parfun2,
+    proj,
+    replicate,
+    scan,
+    scan_direct,
+    scatter_from,
+    shift,
+    totex,
+)
+
+__all__ = [
+    "Bsml",
+    "BsmlError",
+    "ForeignVectorError",
+    "NestingViolation",
+    "ParVector",
+    "VectorWidthError",
+    "UNREACHED",
+    "applyat",
+    "bfs",
+    "bcast_direct",
+    "bcast_two_phase",
+    "block_distribute",
+    "collect",
+    "connected_components",
+    "cost_apply",
+    "cost_bcast_direct",
+    "cost_bcast_two_phase",
+    "cost_mkpar",
+    "cost_put",
+    "cost_scan_direct",
+    "cost_scan_log",
+    "cost_shift",
+    "cost_totex",
+    "distribute_graph",
+    "fold",
+    "gather_to",
+    "histogram",
+    "inner_product",
+    "matrix_multiply",
+    "matrix_vector",
+    "parfun",
+    "parfun2",
+    "prefix_sums",
+    "proj",
+    "replicate",
+    "sample_sort",
+    "scan",
+    "scan_direct",
+    "scatter_from",
+    "shift",
+    "totex",
+    "words_of",
+]

@@ -1,0 +1,226 @@
+"""Direct-mode BSP algorithms written against the Python BSMLlib.
+
+These are the kind of programs the paper's introduction motivates:
+direct-mode BSP algorithms with explicit process structure and
+predictable cost.  Each returns its result as a :class:`ParVector` and
+leaves its cost on the context's machine.
+
+* :func:`prefix_sums` — distributed prefix over block-distributed data;
+* :func:`sample_sort` — one-round parallel sorting by regular sampling
+  (PSRS), the classic BSP sorting algorithm;
+* :func:`matrix_vector` — dense matrix-vector product with row-block
+  distribution and a broadcast of the input vector.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, List, Sequence
+
+from repro.bsml.primitives import Bsml, ParVector
+from repro.bsml.stdlib import bcast_direct, fold, parfun, parfun2, scan, totex
+
+
+def block_distribute(ctx: Bsml, data: Sequence[Any]) -> ParVector:
+    """Deal ``data`` into p contiguous blocks, one per process."""
+    n = len(data)
+    p = ctx.p
+    bounds = [(n * k) // p for k in range(p + 1)]
+    return ctx.mkpar(lambda i: list(data[bounds[i] : bounds[i + 1]]))
+
+
+def collect(vector: ParVector) -> List[Any]:
+    """Concatenate all block components (observation helper)."""
+    result: List[Any] = []
+    for block in vector:
+        result.extend(block)
+    return result
+
+
+def prefix_sums(ctx: Bsml, blocks: ParVector) -> ParVector:
+    """Inclusive prefix sums of block-distributed numbers.
+
+    Local prefix per block, a parallel ``scan`` of the block totals
+    (log2 p supersteps of 1-word messages), then a local fix-up shift.
+    """
+
+    def local_prefix(block: List[float]) -> List[float]:
+        sums = []
+        total = 0
+        for value in block:
+            total += value
+            sums.append(total)
+        return sums
+
+    local = parfun(ctx, local_prefix, blocks)
+    totals = parfun(ctx, lambda sums: sums[-1] if sums else 0, local)
+    scanned = scan(ctx, lambda a, b: a + b, totals)
+
+    def fixup(pid_sums: Any, scanned_total: Any) -> List[float]:
+        pid, sums = pid_sums
+        offset = scanned_total - (sums[-1] if sums else 0)
+        return [value + offset for value in sums]
+
+    tagged = parfun2(ctx, lambda pid, sums: (pid, sums), ctx.mkpar(lambda i: i), local)
+    return parfun2(ctx, fixup, tagged, scanned)
+
+
+def sample_sort(ctx: Bsml, blocks: ParVector, oversampling: int = 8) -> ParVector:
+    """Parallel sorting by regular sampling (PSRS) — one all-to-all round.
+
+    1. sort locally and pick ``oversampling`` regular samples per process;
+    2. total-exchange the samples; everyone deterministically picks the
+       same ``p-1`` splitters;
+    3. partition the local block by the splitters and send bucket ``k`` to
+       process ``k`` (the all-to-all);
+    4. merge the received buckets locally.
+
+    Output: block-distributed, globally sorted.  BSP structure: two
+    supersteps (sample exchange + bucket exchange); with balanced data the
+    second superstep's ``h`` is ``O(n/p)``.
+    """
+    p = ctx.p
+
+    def sort_and_sample(block: List[Any]) -> Any:
+        ordered = sorted(block)
+        if not ordered:
+            return (ordered, [])
+        step = max(1, len(ordered) // oversampling)
+        samples = ordered[::step][:oversampling]
+        return (ordered, samples)
+
+    prepared = parfun(ctx, sort_and_sample, blocks)
+    sample_lists = parfun(ctx, lambda pair: pair[1], prepared)
+    all_samples = totex(ctx, sample_lists)
+
+    def choose_splitters(sample_groups: List[List[Any]]) -> List[Any]:
+        merged = sorted(x for group in sample_groups for x in group)
+        if not merged or p == 1:
+            return []
+        return [merged[(len(merged) * k) // p] for k in range(1, p)]
+
+    splitters = parfun(ctx, choose_splitters, all_samples)
+
+    def make_sender(pair_splitters: Any) -> Callable[[int], Any]:
+        (ordered, _samples), cuts = pair_splitters
+        bounds = [0] + [bisect_left(ordered, cut) for cut in cuts] + [len(ordered)]
+        # With no splitters (empty input or p == 1) everything goes to
+        # bucket 0; pad so every destination has a (possibly empty) bucket.
+        while len(bounds) < p + 1:
+            bounds.append(len(ordered))
+
+        def sender(dst: int) -> Any:
+            bucket = ordered[bounds[dst] : bounds[dst + 1]]
+            return bucket if bucket else None
+
+        return sender
+
+    paired = parfun2(ctx, lambda a, b: (a, b), prepared, splitters)
+    senders = parfun(ctx, make_sender, paired)
+    delivered = ctx.put(senders)
+
+    def merge(f: Any) -> List[Any]:
+        buckets = [f(j) for j in range(p)]
+        merged: List[Any] = []
+        for bucket in buckets:
+            if bucket:
+                merged.extend(bucket)
+        merged.sort()
+        return merged
+
+    return parfun(ctx, merge, delivered)
+
+
+def matrix_vector(ctx: Bsml, matrix: Sequence[Sequence[float]], vector: Sequence[float]) -> ParVector:
+    """Dense ``y = A x`` with row-block distribution of ``A``.
+
+    ``x`` starts on process 0 and is broadcast (formula (1) cost), then
+    each process computes its block of rows locally: one superstep.
+    """
+    rows = block_distribute(ctx, [list(row) for row in matrix])
+    x_at_root = ctx.mkpar(lambda i: list(vector) if i == 0 else None)
+    x_everywhere = bcast_direct(ctx, 0, x_at_root)
+
+    def multiply(block_x: Any) -> List[float]:
+        block, x = block_x
+        return [sum(a * b for a, b in zip(row, x)) for row in block]
+
+    paired = parfun2(ctx, lambda block, x: (block, x), rows, x_everywhere)
+    return parfun(ctx, multiply, paired)
+
+
+def histogram(
+    ctx: Bsml, blocks: ParVector, bins: int, low: float, high: float
+) -> ParVector:
+    """Histogram of block-distributed numbers; counts replicated everywhere.
+
+    One local counting pass and one total-exchange reduction: a single
+    superstep with ``h = O(bins * p)``.
+    """
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    width = (high - low) / bins
+
+    def count(block: List[float]) -> List[int]:
+        counts = [0] * bins
+        for value in block:
+            if low <= value < high:
+                counts[min(bins - 1, int((value - low) / width))] += 1
+            elif value == high:
+                counts[bins - 1] += 1
+        return counts
+
+    local = parfun(ctx, count, blocks)
+    return fold(
+        ctx, lambda a, b: [x + y for x, y in zip(a, b)], local
+    )
+
+
+def matrix_multiply(
+    ctx: Bsml,
+    left: Sequence[Sequence[float]],
+    right: Sequence[Sequence[float]],
+) -> ParVector:
+    """Dense ``C = A B`` with row-block distribution of ``A``.
+
+    ``B`` starts on process 0 and is broadcast (one superstep, formula (1)
+    with ``s = n*k`` words); each process then computes its row block of
+    ``C`` locally.  The classic memory/communication trade-off against
+    grid (Fox/Cannon) algorithms, in the simplest BSP shape.
+    """
+    if left and right and len(left[0]) != len(right):
+        raise ValueError(
+            f"inner dimensions differ: {len(left[0])} vs {len(right)}"
+        )
+    rows = block_distribute(ctx, [list(row) for row in left])
+    b_at_root = ctx.mkpar(
+        lambda i: [list(row) for row in right] if i == 0 else None
+    )
+    b_everywhere = bcast_direct(ctx, 0, b_at_root)
+
+    def multiply(block_b: Any) -> List[List[float]]:
+        block, b = block_b
+        if not b:
+            return [[] for _ in block]
+        columns = len(b[0])
+        return [
+            [
+                sum(a_ik * b[k][j] for k, a_ik in enumerate(row))
+                for j in range(columns)
+            ]
+            for row in block
+        ]
+
+    paired = parfun2(ctx, lambda block, b: (block, b), rows, b_everywhere)
+    return parfun(ctx, multiply, paired)
+
+
+def inner_product(ctx: Bsml, left: ParVector, right: ParVector) -> ParVector:
+    """Dot product of two block-distributed vectors; replicated result."""
+    partial = parfun2(
+        ctx,
+        lambda xs, ys: sum(a * b for a, b in zip(xs, ys)),
+        left,
+        right,
+    )
+    return fold(ctx, lambda a, b: a + b, partial)

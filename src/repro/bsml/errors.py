@@ -1,0 +1,28 @@
+"""Errors raised by the Python-level BSMLlib."""
+
+from __future__ import annotations
+
+from repro.lang.errors import ReproError
+
+
+class BsmlError(ReproError):
+    """Base class of Python-BSMLlib failures."""
+
+
+class NestingViolation(BsmlError):
+    """A parallel vector was nested inside another parallel vector.
+
+    The paper's type system rejects this statically in (mini-)BSML.  In a
+    dynamically-typed host like Python the check moves to runtime — this
+    is the documented substitution for the repro: same invariant, enforced
+    later.  (K. Hinsen's Python BSP library, cited by the paper, leaves
+    the programmer responsible; we enforce it.)
+    """
+
+
+class VectorWidthError(BsmlError):
+    """Mixing parallel vectors of different widths (machines)."""
+
+
+class ForeignVectorError(BsmlError):
+    """A parallel vector was used with a context that did not create it."""

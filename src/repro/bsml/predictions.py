@@ -1,0 +1,95 @@
+"""Closed-form BSP cost predictions for the stdlib operations.
+
+Each function returns the predicted execution time of the matching
+:mod:`repro.bsml.stdlib` operation under given
+:class:`~repro.bsp.params.BspParams`, following the paper's cost algebra.
+``s`` is the word size of one component (formula (1)'s ``s``).
+
+The local-work terms are expressed in the simulator's work units (one
+unit per primitive component operation); the benchmarks fit no constants:
+predictions and measurements must agree exactly on the ``H`` and ``S``
+terms and on the stated ``W`` terms, because the simulator charges
+exactly these amounts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bsp.params import BspParams
+
+
+def cost_mkpar(params: BspParams) -> float:
+    """One local op per process, no communication."""
+    return 1.0
+
+
+def cost_apply(params: BspParams) -> float:
+    return 1.0
+
+
+def cost_put(params: BspParams, h: int) -> float:
+    """``p`` message evaluations per process plus an h-relation+barrier."""
+    return params.p + h * params.g + params.l
+
+
+def cost_bcast_direct(params: BspParams, s: int) -> float:
+    """Formula (1) of the paper: ``p + (p-1)*s*g + l``.
+
+    Breakdown in the simulator's accounting: 2 ops for building the send
+    functions (mkpar+apply), ``p`` message evaluations inside ``put``, and
+    2 ops for extracting the delivered value (the trailing local phase) —
+    the ``p`` term; then the ``h = (p-1)*s`` relation and one barrier.
+    """
+    p = params.p
+    return (p + 4) + (p - 1) * s * params.g + params.l
+
+
+def cost_bcast_two_phase(params: BspParams, s: int) -> float:
+    """Scatter + total exchange: ``~ 2*(p-1)/p * s * g + 2*l``.
+
+    With the root's sequence of total size ``s`` (framing ignored), each
+    phase moves slices of ``~ s/p`` words in an ``(p-1)``-ary pattern.
+    """
+    p = params.p
+    h_per_phase = (p - 1) * s / p
+    return 2 * (p + 4) + 2 * h_per_phase * params.g + 2 * params.l
+
+
+def cost_totex(params: BspParams, s: int) -> float:
+    """Total exchange: ``h = (p-1)*s`` in one superstep."""
+    p = params.p
+    return (p + 4) + (p - 1) * s * params.g + params.l
+
+
+def cost_shift(params: BspParams, s: int) -> float:
+    """A 1-relation of size ``s`` (for p > 1): ``h = s``."""
+    h = s if params.p > 1 else 0
+    return (params.p + 4) + h * params.g + params.l
+
+
+def cost_scan_log(params: BspParams, s: int) -> float:
+    """Hillis-Steele scan: ``ceil(log2 p)`` supersteps of ``h = s``."""
+    rounds = max(0, math.ceil(math.log2(params.p))) if params.p > 1 else 0
+    per_round = (params.p + 5) + s * params.g + params.l
+    return rounds * per_round
+
+
+def cost_scan_direct(params: BspParams, s: int) -> float:
+    """One-superstep scan via total exchange: ``h = (p-1)*s``.
+
+    The totex plus one local mkpar+apply pass computing the prefixes.
+    """
+    return cost_totex(params, s) + 2
+
+
+def crossover_predicted_scan(params_g: float, params_l: float, p: int, s: int) -> str:
+    """Which scan wins under the full cost model: 'log' or 'direct'.
+
+    Uses the exact closed forms (W, H and S terms included), so it agrees
+    with the simulator on every grid point; the communication-only
+    approximation ``log2(p)(s*g+l)`` vs ``(p-1)s*g+l`` mispredicts near
+    the boundary where local work decides.
+    """
+    params = BspParams(p=p, g=params_g, l=params_l)
+    return "log" if cost_scan_log(params, s) < cost_scan_direct(params, s) else "direct"

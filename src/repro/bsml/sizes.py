@@ -1,0 +1,47 @@
+"""Word-size model for Python values transmitted by the BSMLlib.
+
+The BSP cost of a communication phase depends on the number of *words*
+moved; this module fixes a deterministic serialization model for the
+Python values user code sends through ``put``:
+
+* ``None`` is "no message" — it is never transmitted (size 0);
+* booleans, integers and floats weigh one word;
+* strings and bytes weigh one word per 8 characters/bytes (rounded up);
+* lists, tuples, sets and dicts weigh the sum of their elements plus one
+  word of framing;
+* anything exposing ``nbytes`` (numpy arrays) weighs ``nbytes / 8``.
+
+The absolute scale is a convention; the cost-shape experiments only rely
+on sizes being additive and proportional to payload, which this is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+#: Bytes per machine word in the size model.
+WORD_BYTES = 8
+
+
+def words_of(value: Any) -> int:
+    """The communication size of ``value`` in words (None weighs 0)."""
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 1
+    if isinstance(value, (str, bytes)):
+        return max(1, math.ceil(len(value) / WORD_BYTES))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 1 + sum(words_of(item) for item in value)
+    if isinstance(value, dict):
+        return 1 + sum(words_of(k) + words_of(v) for k, v in value.items())
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return max(1, math.ceil(int(nbytes) / WORD_BYTES))
+    raise TypeError(
+        f"no word-size model for {type(value).__name__}; "
+        "send scalars, strings, containers or buffer objects"
+    )

@@ -1,0 +1,230 @@
+"""Derived BSML operations (the BSMLlib "standard library") in Python.
+
+Everything here is built from the four primitives of
+:class:`~repro.bsml.primitives.Bsml` only — like the paper builds
+``replicate`` and ``bcast`` in section 2.1 — so the BSP cost of each
+operation is exactly the sum of its primitives' costs.  Closed-form cost
+predictions live in :mod:`repro.bsml.predictions` and are checked against
+the simulator by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.bsml.primitives import Bsml, ParVector
+
+
+def replicate(ctx: Bsml, value: Any) -> ParVector:
+    """``replicate x``: the vector holding ``x`` on every process."""
+    return ctx.mkpar(lambda _pid: value)
+
+
+def parfun(ctx: Bsml, f: Callable[[Any], Any], vector: ParVector) -> ParVector:
+    """Map ``f`` over a vector: ``apply (replicate f) v``."""
+    return ctx.apply(replicate(ctx, f), vector)
+
+
+def parfun2(
+    ctx: Bsml, f: Callable[[Any, Any], Any], left: ParVector, right: ParVector
+) -> ParVector:
+    """Zip two vectors with a binary ``f``."""
+    curried = replicate(ctx, lambda a: (lambda b: f(a, b)))
+    return ctx.apply(ctx.apply(curried, left), right)
+
+
+def applyat(
+    ctx: Bsml,
+    n: int,
+    f_at: Callable[[Any], Any],
+    f_elsewhere: Callable[[Any], Any],
+    vector: ParVector,
+) -> ParVector:
+    """Apply ``f_at`` on process ``n`` and ``f_elsewhere`` everywhere else."""
+    selector = ctx.mkpar(lambda i: f_at if i == n else f_elsewhere)
+    return ctx.apply(selector, vector)
+
+
+def bcast_direct(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
+    """Broadcast the value held at ``root`` to every process — the paper's
+    ``bcast`` (section 2.1), one superstep with ``h = (p-1) * s``:
+    cost ``p + (p-1)*s*g + l`` (formula (1))."""
+    senders = ctx.apply(
+        ctx.mkpar(lambda i: (lambda v: (lambda dst: v if i == root else None))),
+        vector,
+    )
+    delivered = ctx.put(senders)
+    return parfun(ctx, lambda f: f(root), delivered)
+
+
+def bcast_two_phase(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
+    """Two-phase broadcast of a *sequence*: scatter then total exchange.
+
+    The classic BSP alternative to :func:`bcast_direct`: the root first
+    scatters slices of size ``s/p`` (an ``h = s(p-1)/p`` relation), then a
+    total exchange of slices (same arity) reassembles the sequence
+    everywhere.  Cost ``~ 2*s*g*(p-1)/p + 2*l`` — beats the direct
+    broadcast's ``(p-1)*s*g + l`` once ``s*g`` outweighs ``l``
+    (ablation experiment E15)."""
+    p = ctx.p
+
+    def cuts(sequence: Sequence[Any]) -> List[Sequence[Any]]:
+        n = len(sequence)
+        bounds = [(n * k) // p for k in range(p + 1)]
+        return [sequence[bounds[k] : bounds[k + 1]] for k in range(p)]
+
+    # Phase 1: root scatters its slices.
+    scatter_senders = ctx.apply(
+        ctx.mkpar(
+            lambda i: (
+                lambda v: (lambda dst: list(cuts(v)[dst]) if i == root else None)
+            )
+        ),
+        vector,
+    )
+    slices = parfun(ctx, lambda f: f(root), ctx.put(scatter_senders))
+    # Phase 2: total exchange of slices, then local reassembly.
+    gathered = totex(ctx, slices)
+    return parfun(
+        ctx, lambda pieces: [x for piece in pieces for x in piece], gathered
+    )
+
+
+def totex(ctx: Bsml, vector: ParVector) -> ParVector:
+    """Total exchange: every process ends with the list of all components."""
+    senders = ctx.apply(ctx.mkpar(lambda i: (lambda v: (lambda dst: v))), vector)
+    delivered = ctx.put(senders)
+    return parfun(ctx, lambda f: [f(j) for j in range(ctx.p)], delivered)
+
+
+def shift(ctx: Bsml, distance: int, vector: ParVector) -> ParVector:
+    """Cyclic shift: process ``i`` receives the value of ``i - distance``."""
+    p = ctx.p
+    d = distance % p
+    senders = ctx.apply(
+        ctx.mkpar(
+            lambda i: (lambda v: (lambda dst: v if dst == (i + d) % p else None))
+        ),
+        vector,
+    )
+    delivered = ctx.put(senders)
+    return ctx.apply(
+        ctx.mkpar(lambda i: (lambda f: f((i - d) % p))), delivered
+    )
+
+
+def scan(ctx: Bsml, op: Callable[[Any, Any], Any], vector: ParVector) -> ParVector:
+    """Inclusive prefix (Hillis-Steele): ``ceil(log2 p)`` supersteps, each
+    an ``h = s`` relation — cost ``~ log2(p) * (s*g + l)``."""
+    p = ctx.p
+    current = vector
+    stride = 1
+    while stride < p:
+        s = stride  # bind for the closures below
+        senders = ctx.apply(
+            ctx.mkpar(
+                lambda i: (lambda v: (lambda dst: v if dst == i + s else None))
+            ),
+            current,
+        )
+        delivered = ctx.put(senders)
+        combine = ctx.mkpar(
+            lambda i: (
+                lambda f: (
+                    lambda v: op(f(i - s), v) if i >= s else v
+                )
+            )
+        )
+        current = ctx.apply(ctx.apply(combine, delivered), current)
+        stride *= 2
+    return current
+
+
+def scan_direct(
+    ctx: Bsml, op: Callable[[Any, Any], Any], vector: ParVector
+) -> ParVector:
+    """Prefix in ONE superstep via total exchange: ``h = (p-1)*s`` but a
+    single ``l`` — the latency-friendly alternative to :func:`scan`
+    (ablation experiment: crossover in ``l`` vs ``g``)."""
+    gathered = totex(ctx, vector)
+
+    def prefix_at(i: int) -> Callable[[List[Any]], Any]:
+        def compute(values: List[Any]) -> Any:
+            accumulator = values[0]
+            for value in values[1 : i + 1]:
+                accumulator = op(accumulator, value)
+            return accumulator
+
+        return compute
+
+    return ctx.apply(ctx.mkpar(prefix_at), gathered)
+
+
+def fold(ctx: Bsml, op: Callable[[Any, Any], Any], vector: ParVector) -> ParVector:
+    """Reduce the whole vector with ``op``; result replicated everywhere."""
+    gathered = totex(ctx, vector)
+
+    def reduce_all(values: List[Any]) -> Any:
+        accumulator = values[0]
+        for value in values[1:]:
+            accumulator = op(accumulator, value)
+        return accumulator
+
+    return parfun(ctx, reduce_all, gathered)
+
+
+def proj(ctx: Bsml, vector: ParVector) -> Callable[[int], Any]:
+    """BSMLlib's ``proj``: the inverse of ``mkpar``.
+
+    Turns an ``'a par`` into an ``int -> 'a`` usable in *global* code —
+    the only legitimate way to observe a vector from replicated context.
+    Costs a total exchange (one superstep, ``h = (p-1)*s``), because every
+    process must be able to answer every query identically.
+    """
+    gathered = totex(ctx, vector)
+    values = gathered[0]  # replicated: identical on every process
+
+    def lookup(pid: int) -> Any:
+        if not 0 <= pid < ctx.p:
+            raise IndexError(f"process index {pid} out of range (p = {ctx.p})")
+        return values[pid]
+
+    return lookup
+
+
+def gather_to(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
+    """All components to ``root`` (a list there, None elsewhere)."""
+    senders = ctx.apply(
+        ctx.mkpar(lambda i: (lambda v: (lambda dst: v if dst == root else None))),
+        vector,
+    )
+    delivered = ctx.put(senders)
+    return ctx.apply(
+        ctx.mkpar(
+            lambda i: (
+                lambda f: [f(j) for j in range(ctx.p)] if i == root else None
+            )
+        ),
+        delivered,
+    )
+
+
+def scatter_from(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
+    """Slice the sequence held at ``root`` across all processes."""
+    p = ctx.p
+
+    def cuts(sequence: Sequence[Any]) -> List[Sequence[Any]]:
+        n = len(sequence)
+        bounds = [(n * k) // p for k in range(p + 1)]
+        return [sequence[bounds[k] : bounds[k + 1]] for k in range(p)]
+
+    senders = ctx.apply(
+        ctx.mkpar(
+            lambda i: (
+                lambda v: (lambda dst: list(cuts(v)[dst]) if i == root else None)
+            )
+        ),
+        vector,
+    )
+    delivered = ctx.put(senders)
+    return parfun(ctx, lambda f: f(root), delivered)

@@ -1,0 +1,99 @@
+"""BSP cost objects: per-superstep records and program totals.
+
+The execution time of a BSP program of ``S`` supersteps is the sum of
+three terms (section 2)::
+
+    W + H * g + S * l
+    W = sum_s max_i w_i(s)        (computation)
+    H = sum_s max_i h_i(s)        (communication)
+
+:class:`SuperstepCost` captures one superstep, :class:`BspCost` the whole
+program; both know how to evaluate themselves against a
+:class:`~repro.bsp.params.BspParams` and to render a trace table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bsp.network import HRelation
+from repro.bsp.params import BspParams
+
+
+@dataclass(frozen=True)
+class SuperstepCost:
+    """One superstep: per-process work and the realized h-relation.
+
+    ``synchronized`` is False only for a trailing purely-local phase after
+    the last barrier, which contributes computation time but neither
+    communication nor an ``l`` term.
+    """
+
+    work: Tuple[float, ...]
+    relation: Optional[HRelation] = None
+    synchronized: bool = True
+    label: str = ""
+
+    @property
+    def w_max(self) -> float:
+        return max(self.work, default=0.0)
+
+    @property
+    def h(self) -> int:
+        return self.relation.h if self.relation is not None else 0
+
+    def time(self, params: BspParams) -> float:
+        if not self.synchronized:
+            return self.w_max
+        return params.superstep_time(self.w_max, self.h)
+
+
+@dataclass
+class BspCost:
+    """The cost of a whole program: a sequence of superstep records."""
+
+    p: int
+    supersteps: List[SuperstepCost] = field(default_factory=list)
+
+    @property
+    def W(self) -> float:
+        """Total computation: ``sum_s max_i w_i``."""
+        return sum(step.w_max for step in self.supersteps)
+
+    @property
+    def H(self) -> int:
+        """Total communication arity: ``sum_s max_i h_i``."""
+        return sum(step.h for step in self.supersteps)
+
+    @property
+    def S(self) -> int:
+        """Number of synchronized supersteps (barriers executed)."""
+        return sum(1 for step in self.supersteps if step.synchronized)
+
+    def total(self, params: BspParams) -> float:
+        """``W + H*g + S*l`` (equal to the sum of superstep times)."""
+        return self.W + self.H * params.g + self.S * params.l
+
+    def check_decomposition(self, params: BspParams) -> bool:
+        """Consistency: summing per-superstep times equals the formula."""
+        by_steps = sum(step.time(params) for step in self.supersteps)
+        return abs(by_steps - self.total(params)) < 1e-9
+
+    def render(self, params: Optional[BspParams] = None) -> str:
+        """A human-readable superstep table."""
+        lines = [f"BSP cost over p={self.p} processes:"]
+        header = f"  {'step':>4}  {'max w':>10}  {'h':>8}  {'sync':>5}  label"
+        lines.append(header)
+        for number, step in enumerate(self.supersteps):
+            lines.append(
+                f"  {number:>4}  {step.w_max:>10.1f}  {step.h:>8}"
+                f"  {'yes' if step.synchronized else 'no':>5}  {step.label}"
+            )
+        lines.append(f"  W = {self.W:.1f}, H = {self.H}, S = {self.S}")
+        if params is not None:
+            lines.append(
+                f"  total = W + H*g + S*l = {self.total(params):.1f}"
+                f"  ({params.describe()})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""The BSP machine simulator: superstep engine with cost accounting.
+
+The machine is the substrate on which both the Python BSMLlib
+(:mod:`repro.bsml`) and the costed mini-BSML interpreter
+(:mod:`repro.semantics.costed`) run.  It does not execute code itself —
+the callers do — it *accounts*: callers report local work per process and
+hand over traffic matrices for the communication phases, and the machine
+folds everything into the paper's cost model ``W + H*g + S*l``.
+
+A superstep is, per the BSP model, (1) local computation, (2) delivery of
+the requested h-relation, (3) a synchronization barrier.  ``exchange``
+performs (2)+(3) and opens the next superstep; ``barrier`` is an exchange
+with an empty relation (``if ... at ...`` uses an explicit small one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bsp.cost import BspCost, SuperstepCost
+from repro.bsp.network import HRelation, h_relation_of_matrix
+from repro.bsp.params import BspParams
+
+
+class BspMachine:
+    """A ``p``-process BSP machine accumulating a :class:`BspCost`."""
+
+    def __init__(self, params: BspParams) -> None:
+        self.params = params
+        self._work: List[float] = [0.0] * params.p
+        self._steps: List[SuperstepCost] = []
+        self._mailboxes: List[Dict[int, object]] = [dict() for _ in range(params.p)]
+
+    @property
+    def p(self) -> int:
+        return self.params.p
+
+    # -- computation phase --------------------------------------------------
+
+    def local(self, proc: int, ops: float = 1.0) -> None:
+        """Account ``ops`` units of work on process ``proc``."""
+        if not 0 <= proc < self.p:
+            raise ValueError(f"process {proc} out of range (p = {self.p})")
+        self._work[proc] += ops
+
+    def replicated(self, ops: float = 1.0) -> None:
+        """Account work executed identically by every process (the
+        replicated global control of an SPMD BSML program)."""
+        for proc in range(self.p):
+            self._work[proc] += ops
+
+    # -- communication + synchronization phases ------------------------------
+
+    def exchange(
+        self,
+        sent_words: Sequence[Sequence[int]],
+        payloads: Optional[Dict[Tuple[int, int], object]] = None,
+        label: str = "",
+    ) -> HRelation:
+        """Deliver an h-relation and pass the barrier, closing the superstep.
+
+        ``sent_words[i][j]`` is the number of words process ``i`` sends to
+        process ``j`` (diagonal ignored).  ``payloads`` optionally carries
+        the actual values; they become readable via :meth:`receive` during
+        the next superstep, which is how the BSML ``put`` is built.
+        """
+        relation = h_relation_of_matrix(sent_words)
+        self._mailboxes = [dict() for _ in range(self.p)]
+        if payloads:
+            for (src, dst), value in payloads.items():
+                self._mailboxes[dst][src] = value
+        self._close(relation, label)
+        return relation
+
+    def barrier(self, label: str = "barrier") -> None:
+        """A pure synchronization: empty relation, still costs ``l``."""
+        self._close(HRelation((0,) * self.p, (0,) * self.p), label)
+
+    def receive(self, proc: int, source: int):
+        """The payload ``source`` sent to ``proc`` in the last exchange,
+        or None when nothing was sent (the BSML ``None``/``nc ()``)."""
+        return self._mailboxes[proc].get(source)
+
+    # -- results --------------------------------------------------------------
+
+    def _close(self, relation: HRelation, label: str) -> None:
+        self._steps.append(
+            SuperstepCost(tuple(self._work), relation, synchronized=True, label=label)
+        )
+        self._work = [0.0] * self.p
+
+    def cost(self) -> BspCost:
+        """The cost so far, including any unfinished local-only phase."""
+        steps = list(self._steps)
+        if any(work > 0 for work in self._work):
+            steps.append(
+                SuperstepCost(
+                    tuple(self._work), None, synchronized=False, label="trailing local"
+                )
+            )
+        return BspCost(self.p, steps)
+
+    def total_time(self) -> float:
+        return self.cost().total(self.params)
+
+    def reset(self) -> None:
+        """Forget all accounting (mailboxes included)."""
+        self._work = [0.0] * self.p
+        self._steps = []
+        self._mailboxes = [dict() for _ in range(self.p)]

@@ -1,0 +1,82 @@
+"""h-relation accounting for the communication phase of a superstep.
+
+During a superstep every process requests data transfers; the network then
+realizes an *h-relation* where ``h_i = max(h_i_plus, h_i_minus)`` is the
+larger of the words sent and received by process ``i``, and the phase
+costs ``g * max_i h_i`` (section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class HRelation:
+    """The realized communication pattern of one superstep."""
+
+    sent_words: Tuple[int, ...]  # h_i_plus, per process
+    received_words: Tuple[int, ...]  # h_i_minus, per process
+
+    @property
+    def p(self) -> int:
+        return len(self.sent_words)
+
+    @property
+    def per_process(self) -> Tuple[int, ...]:
+        """``h_i = max(h_i_plus, h_i_minus)`` for each process."""
+        return tuple(
+            max(out, inn) for out, inn in zip(self.sent_words, self.received_words)
+        )
+
+    @property
+    def h(self) -> int:
+        """The arity of the relation: ``max_i h_i``."""
+        return max(self.per_process, default=0)
+
+    @property
+    def total_words(self) -> int:
+        return sum(self.sent_words)
+
+
+def h_relation_of_matrix(sent: Sequence[Sequence[int]]) -> HRelation:
+    """Build an :class:`HRelation` from a full traffic matrix.
+
+    ``sent[i][j]`` is the number of words process ``i`` sends to process
+    ``j``.  Diagonal entries (a process "sending" to itself) cost nothing
+    and are ignored, matching a library where local data stays in place.
+    """
+    p = len(sent)
+    for row in sent:
+        if len(row) != p:
+            raise ValueError("traffic matrix must be square")
+        if any(words < 0 for words in row):
+            raise ValueError("word counts must be non-negative")
+    sent_words = tuple(
+        sum(words for j, words in enumerate(row) if j != i)
+        for i, row in enumerate(sent)
+    )
+    received_words = tuple(
+        sum(sent[j][i] for j in range(p) if j != i) for i in range(p)
+    )
+    return HRelation(sent_words, received_words)
+
+
+def h_relation_of_messages(
+    p: int, messages: Dict[Tuple[int, int], int]
+) -> HRelation:
+    """Build an :class:`HRelation` from sparse ``(src, dst) -> words``."""
+    matrix: List[List[int]] = [[0] * p for _ in range(p)]
+    for (src, dst), words in messages.items():
+        if not (0 <= src < p and 0 <= dst < p):
+            raise ValueError(f"message endpoints ({src}, {dst}) out of range")
+        matrix[src][dst] += words
+    return h_relation_of_matrix(matrix)
+
+
+def one_relation(p: int, size: int = 1) -> HRelation:
+    """The canonical 1-relation scaled by ``size``: every process sends and
+    receives ``size`` words (a cyclic shift), costing ``g * size``."""
+    messages = {(i, (i + 1) % p): size for i in range(p)} if p > 1 else {}
+    return h_relation_of_messages(p, messages)

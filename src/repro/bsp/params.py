@@ -1,0 +1,51 @@
+"""BSP machine parameters (section 2 of the paper).
+
+A BSP computer is characterized by three parameters, all expressed as
+multiples of the local processing speed:
+
+* ``p`` — the number of processor-memory pairs;
+* ``g`` — the time to collectively deliver a 1-relation (so an h-relation
+  costs ``g * h``);
+* ``l`` — the time of a global synchronization barrier.
+
+``PREDEFINED`` offers a few classic machine profiles for benchmarks; the
+values are in "operations" units and only their ratios matter for the
+cost-shape experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class BspParams:
+    """The BSP cost parameters ``(p, g, l)``."""
+
+    p: int
+    g: float = 1.0
+    l: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError(f"a BSP machine needs p >= 1 processes, got {self.p}")
+        if self.g < 0 or self.l < 0:
+            raise ValueError("BSP parameters g and l must be non-negative")
+
+    def superstep_time(self, w_max: float, h_max: float) -> float:
+        """``Time(s) = max_i w_i + max_i h_i * g + l``."""
+        return w_max + h_max * self.g + self.l
+
+    def describe(self) -> str:
+        return f"p={self.p}, g={self.g}, l={self.l}"
+
+
+#: Classic machine shapes used by the benchmark sweeps (ratios matter, not
+#: absolute values): a low-latency cluster, a commodity cluster with slow
+#: barriers, and a shared-memory-like machine with cheap communication.
+PREDEFINED: Dict[str, BspParams] = {
+    "cluster": BspParams(p=8, g=4.0, l=200.0),
+    "slow-network": BspParams(p=8, g=32.0, l=5000.0),
+    "shared-memory": BspParams(p=8, g=1.0, l=50.0),
+}

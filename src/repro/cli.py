@@ -1,0 +1,180 @@
+"""Command-line interface: ``minibsml {typecheck,run,trace,explain}``.
+
+Examples::
+
+    minibsml typecheck -e "fst (1, mkpar (fun i -> i))"
+    minibsml run -e "bcast 2 (mkpar (fun i -> i * i))" -p 8 -g 2 -l 100
+    minibsml trace -e "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> 0))" -p 2
+    minibsml explain -e "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import run_program, typecheck_scheme
+from repro.core import TypingError, explain as explain_expr
+from repro.lang import ParseError, parse_program, pretty, with_prelude
+from repro.lang.errors import ReproError
+from repro.semantics import StuckError, trace as smallstep_trace
+
+
+def _load(args: argparse.Namespace):
+    if args.expr is not None:
+        source = args.expr
+        filename = "<command line>"
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        filename = args.file
+    return parse_program(source, filename)
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("-e", "--expr", help="program text on the command line")
+    group.add_argument("file", nargs="?", help="path to a .bsml file")
+    parser.add_argument(
+        "--no-prelude",
+        action="store_true",
+        help="do not wrap the program in the standard prelude",
+    )
+
+
+def _command_typecheck(args: argparse.Namespace) -> int:
+    expr = _load(args)
+    scheme = typecheck_scheme(expr, use_prelude=not args.no_prelude)
+    print(scheme)
+    if args.effects:
+        from repro.core.effects import analyze_effects
+
+        warnings = analyze_effects(expr)
+        for warning in warnings:
+            print(f"effect: {warning}", file=sys.stderr)
+        if any(w.is_error for w in warnings):
+            return 1
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    expr = _load(args)
+    result = run_program(
+        expr,
+        p=args.p,
+        g=args.g,
+        l=args.l,
+        use_prelude=not args.no_prelude,
+        typed=not args.untyped,
+    )
+    print(result.python_value)
+    if args.cost:
+        print(result.render())
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    expr = _load(args)
+    if not args.no_prelude:
+        expr = with_prelude(expr)
+    shown = 0
+    for state in smallstep_trace(expr, args.p, max_steps=args.max_steps):
+        print(f"{shown:>5}  {pretty(state)}")
+        shown += 1
+        if args.limit and shown >= args.limit:
+            print("  ... (truncated; raise --limit)")
+            break
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    expr = _load(args)
+    if not args.no_prelude:
+        expr = with_prelude(expr)
+    explanation = explain_expr(expr)
+    print(explanation.render(max_width=args.width))
+    return 0 if explanation.accepted else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="minibsml",
+        description=(
+            "mini-BSML: the language, type system and BSP cost model of "
+            "'A Polymorphic Type System for Bulk Synchronous Parallel ML'"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("typecheck", help="infer the type scheme")
+    _add_source_arguments(check)
+    check.add_argument(
+        "--effects",
+        action="store_true",
+        help="also run the replicated-reference effect analysis (section 6)",
+    )
+    check.set_defaults(handler=_command_typecheck)
+
+    run = commands.add_parser("run", help="typecheck, evaluate and cost")
+    _add_source_arguments(run)
+    run.add_argument("-p", type=int, default=4, help="number of processes")
+    run.add_argument("-g", type=float, default=1.0, help="BSP g parameter")
+    run.add_argument("-l", type=float, default=20.0, help="BSP l parameter")
+    run.add_argument("--cost", action="store_true", help="print the cost table")
+    run.add_argument(
+        "--untyped", action="store_true", help="skip the static typecheck"
+    )
+    run.set_defaults(handler=_command_run)
+
+    tr = commands.add_parser("trace", help="print the small-step reduction")
+    _add_source_arguments(tr)
+    tr.add_argument("-p", type=int, default=2, help="number of processes")
+    tr.add_argument("--limit", type=int, default=200, help="max lines shown")
+    tr.add_argument("--max-steps", type=int, default=100_000)
+    tr.set_defaults(handler=_command_trace)
+
+    expl = commands.add_parser(
+        "explain", help="render the typing derivation (or the rejection)"
+    )
+    _add_source_arguments(expl)
+    expl.add_argument("--width", type=int, default=200, help="max judgement width")
+    expl.set_defaults(handler=_command_explain)
+
+    repl = commands.add_parser("repl", help="interactive session")
+    repl.add_argument("-p", type=int, default=4, help="number of processes")
+    repl.add_argument("-g", type=float, default=1.0, help="BSP g parameter")
+    repl.add_argument("-l", type=float, default=20.0, help="BSP l parameter")
+    repl.set_defaults(handler=_command_repl)
+
+    return parser
+
+
+def _command_repl(args: argparse.Namespace) -> int:
+    from repro.bsp.params import BspParams
+    from repro.repl import run_repl
+
+    return run_repl(params=BspParams(p=args.p, g=args.g, l=args.l))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ParseError as error:
+        print(f"syntax error: {error}", file=sys.stderr)
+        return 2
+    except TypingError as error:
+        print(f"type error: {error}", file=sys.stderr)
+        return 1
+    except StuckError as error:
+        print(f"evaluation stuck: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

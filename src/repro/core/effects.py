@@ -1,0 +1,254 @@
+"""A static effect analysis for the imperative extension (prototype).
+
+The paper's conclusion: *"We are currently working on the typing of
+effects to avoid this problem statically"* — the problem being that a
+reference created in replicated (global) context and assigned inside a
+parallel-vector component desynchronizes its per-process replicas, so a
+later global dereference has no single value.
+
+This module prototypes that analysis as a syntactic dataflow pass (not a
+full effect *type system* — inference of latent effects through
+higher-order functions is approximated conservatively):
+
+* it tracks which variables are bound to results of ``ref`` in replicated
+  context ("replicated references");
+* entering a ``mkpar``/``apply``/``put`` function argument switches to
+  *component* context;
+* an assignment ``r := e`` or a dereference ``!r`` whose target is a
+  replicated reference, occurring in component context, is reported —
+  assignments because they diverge the replicas, dereferences only as
+  informational notes (they are well-defined per process);
+* a *global* dereference after any component assignment to the same
+  reference is reported as the incoherence itself.
+
+Higher-order escapes (a replicated ref passed into an unknown function,
+stored in a data structure, or returned) are reported conservatively as
+``may-escape`` warnings.  The dynamic detector in the big-step evaluator
+(:class:`~repro.semantics.errors.ReplicaDivergenceError`) remains the
+ground truth; the property test
+``tests/core/test_effects.py::TestSoundness`` checks that every program
+whose execution raises a divergence error is flagged by this analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto, unique
+from typing import Dict, List, Set
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Const,
+    Expr,
+    Fun,
+    If,
+    IfAt,
+    Inl,
+    Inr,
+    Let,
+    Pair,
+    ParVec,
+    Prim,
+    Tuple as TupleE,
+    Var,
+)
+
+
+@unique
+class EffectKind(Enum):
+    """What the analysis found."""
+
+    COMPONENT_ASSIGNMENT = auto()  # replicated ref assigned inside a component
+    GLOBAL_DEREF_AFTER_DIVERGENCE = auto()  # the incoherent read itself
+    COMPONENT_DEREF = auto()  # informational: per-process read
+    MAY_ESCAPE = auto()  # ref flows somewhere we cannot track
+
+
+@dataclass(frozen=True)
+class EffectWarning:
+    """One finding: the kind, the reference's binder, and a description."""
+
+    kind: EffectKind
+    reference: str
+    detail: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.kind in (
+            EffectKind.COMPONENT_ASSIGNMENT,
+            EffectKind.GLOBAL_DEREF_AFTER_DIVERGENCE,
+        )
+
+    def __str__(self) -> str:
+        label = self.kind.name.lower().replace("_", " ")
+        return f"[{label}] {self.reference}: {self.detail}"
+
+
+#: The primitives whose functional argument runs per-process.
+_COMPONENT_PRIMS = frozenset(("mkpar", "put"))
+
+
+class _Analysis:
+    def __init__(self) -> None:
+        self.warnings: List[EffectWarning] = []
+        #: replicated refs that have been assigned inside a component
+        self.diverged: Set[str] = set()
+
+    def report(self, kind: EffectKind, reference: str, detail: str) -> None:
+        self.warnings.append(EffectWarning(kind, reference, detail))
+
+    # ``refs`` maps a variable name to True when it (may) denote a
+    # reference created in replicated context.  ``component`` is True
+    # inside a parallel-vector computation.
+
+    def walk(self, expr: Expr, refs: Dict[str, bool], component: bool) -> None:
+        if isinstance(expr, (Const, Prim, Var)):
+            return
+        if isinstance(expr, Let):
+            self.walk(expr.bound, refs, component)
+            inner = dict(refs)
+            inner[expr.name] = (not component) and _is_ref_creation(expr.bound)
+            if inner[expr.name] and _creation_via_unknown_call(expr.bound):
+                # e.g. let r = f () — we cannot see whether it is a ref.
+                pass
+            self.walk(expr.body, inner, component)
+            return
+        if isinstance(expr, Fun):
+            inner = dict(refs)
+            inner[expr.param] = False
+            self.walk(expr.body, inner, component)
+            return
+        if isinstance(expr, Case):
+            self.walk(expr.scrutinee, refs, component)
+            left = dict(refs)
+            left[expr.left_name] = False
+            self.walk(expr.left_body, left, component)
+            right = dict(refs)
+            right[expr.right_name] = False
+            self.walk(expr.right_body, right, component)
+            return
+        if isinstance(expr, App):
+            self._walk_app(expr, refs, component)
+            return
+        if isinstance(expr, (Pair, TupleE, If, IfAt, Inl, Inr, ParVec)):
+            for child in expr.children():
+                self.walk(child, refs, component)
+            return
+        for child in expr.children():  # pragma: no cover - future nodes
+            self.walk(child, refs, component)
+
+    def _walk_app(self, expr: App, refs: Dict[str, bool], component: bool) -> None:
+        fn, arg = expr.fn, expr.arg
+        # r := e  — assignment to a tracked replicated ref.
+        if isinstance(fn, Prim) and fn.name == ":=" and isinstance(arg, Pair):
+            target = arg.first
+            if isinstance(target, Var) and refs.get(target.name):
+                if component:
+                    self.diverged.add(target.name)
+                    self.report(
+                        EffectKind.COMPONENT_ASSIGNMENT,
+                        target.name,
+                        "replicated reference assigned inside a parallel "
+                        "vector component: the per-process replicas diverge",
+                    )
+            self.walk(arg.first, refs, component)
+            self.walk(arg.second, refs, component)
+            return
+        # !r — dereference.
+        if isinstance(fn, Prim) and fn.name == "!":
+            if isinstance(arg, Var) and refs.get(arg.name):
+                if component:
+                    self.report(
+                        EffectKind.COMPONENT_DEREF,
+                        arg.name,
+                        "replicated reference read inside a component "
+                        "(well-defined per process)",
+                    )
+                elif arg.name in self.diverged:
+                    self.report(
+                        EffectKind.GLOBAL_DEREF_AFTER_DIVERGENCE,
+                        arg.name,
+                        "global dereference after a component assignment: "
+                        "the replicas no longer agree (the section 6 "
+                        "incoherence)",
+                    )
+            self.walk(arg, refs, component)
+            return
+        # mkpar f / put f: f's body runs per component.
+        if isinstance(fn, Prim) and fn.name in _COMPONENT_PRIMS:
+            self._enter_component(arg, refs)
+            return
+        # apply (fv, xv): the functions inside fv run per component, but
+        # fv is itself a vector expression — its construction is walked in
+        # the current context and any lambda it contains is component code.
+        if isinstance(fn, Prim) and fn.name == "apply" and isinstance(arg, Pair):
+            self._enter_component(arg.first, refs)
+            self.walk(arg.second, refs, component)
+            return
+        # Unknown application: a tracked ref passed as an argument (or the
+        # function position) escapes the analysis.
+        for part in (fn, arg):
+            self._escape_check(part, refs)
+        self.walk(fn, refs, component)
+        self.walk(arg, refs, component)
+
+    def _enter_component(self, expr: Expr, refs: Dict[str, bool]) -> None:
+        """Walk ``expr`` with every contained lambda body in component
+        context (the expression itself is still evaluated globally)."""
+        if isinstance(expr, Fun):
+            inner = dict(refs)
+            inner[expr.param] = False
+            self.walk(expr.body, inner, component=True)
+            return
+        if isinstance(expr, (Const, Prim)):
+            return
+        if isinstance(expr, Var):
+            if refs.get(expr.name):
+                self.report(
+                    EffectKind.MAY_ESCAPE,
+                    expr.name,
+                    "replicated reference flows into a parallel primitive "
+                    "through a variable; assuming the worst",
+                )
+            return
+        for child in expr.children():
+            self._enter_component(child, refs)
+
+    def _escape_check(self, expr: Expr, refs: Dict[str, bool]) -> None:
+        if isinstance(expr, Var) and refs.get(expr.name):
+            self.report(
+                EffectKind.MAY_ESCAPE,
+                expr.name,
+                "replicated reference passed to an unanalyzed function",
+            )
+
+
+def analyze_effects(expr: Expr) -> List[EffectWarning]:
+    """Run the replicated-reference effect analysis over ``expr``."""
+    analysis = _Analysis()
+    analysis.walk(expr, {}, component=False)
+    return analysis.warnings
+
+
+def effect_errors(expr: Expr) -> List[EffectWarning]:
+    """Only the findings that correspond to real incoherence."""
+    return [warning for warning in analyze_effects(expr) if warning.is_error]
+
+
+def is_effect_safe(expr: Expr) -> bool:
+    """True when the analysis finds no divergence risk (errors or
+    escapes); the sound side of the prototype."""
+    return not any(
+        warning.is_error or warning.kind is EffectKind.MAY_ESCAPE
+        for warning in analyze_effects(expr)
+    )
+
+
+def _is_ref_creation(expr: Expr) -> bool:
+    """Conservatively: is this expression certainly/possibly a new ref?"""
+    return isinstance(expr, App) and expr.fn == Prim("ref")
+
+
+def _creation_via_unknown_call(expr: Expr) -> bool:
+    return isinstance(expr, App) and not isinstance(expr.fn, Prim)

@@ -1,0 +1,75 @@
+"""Typing errors raised by the type system."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import Expr, Loc
+from repro.lang.errors import SourceError
+
+
+class TypingError(SourceError):
+    """Base class of all static typing failures."""
+
+
+class UnboundVariableError(TypingError):
+    """A variable occurs free with no binding in the environment."""
+
+    def __init__(self, name: str, loc: Optional[Loc] = None) -> None:
+        self.name = name
+        super().__init__(f"unbound variable {name!r}", loc)
+
+
+class UnknownPrimitiveError(TypingError):
+    """A primitive name with no scheme in the initial environment."""
+
+    def __init__(self, name: str, loc: Optional[Loc] = None) -> None:
+        self.name = name
+        super().__init__(f"unknown primitive {name!r}", loc)
+
+
+class UnificationError(TypingError):
+    """Two types cannot be made equal."""
+
+    def __init__(self, left, right, loc: Optional[Loc] = None) -> None:
+        self.left = left
+        self.right = right
+        super().__init__(f"cannot unify {left} with {right}", loc)
+
+
+class OccursCheckError(TypingError):
+    """Unifying ``alpha`` with a type containing ``alpha`` (infinite type)."""
+
+    def __init__(self, var: str, ty, loc: Optional[Loc] = None) -> None:
+        self.var = var
+        self.ty = ty
+        super().__init__(f"occurs check: '{var} appears in {ty}", loc)
+
+
+class NestingError(TypingError):
+    """The locality constraint of a rule became unsatisfiable.
+
+    This is the paper's rejection condition ``Solve(C) = False``: accepting
+    the expression would allow a parallel vector to nest inside another
+    (directly, as in ``example1``; invisibly, as in ``example2``; or
+    through a polymorphic instantiation, as in ``fst (1, mkpar ...)``).
+    """
+
+    def __init__(
+        self,
+        rule: str,
+        constraint,
+        expr: Optional[Expr] = None,
+        loc: Optional[Loc] = None,
+        detail: str = "",
+    ) -> None:
+        self.rule = rule
+        self.constraint = constraint
+        self.expr = expr
+        message = (
+            f"parallel-vector nesting rejected at rule ({rule}): "
+            f"constraint {constraint} is unsatisfiable"
+        )
+        if detail:
+            message += f" — {detail}"
+        super().__init__(message, loc)

@@ -1,0 +1,130 @@
+"""The initial typing environment ``TC`` (Figure 6 of the paper).
+
+Each primitive operation and constant gets a constrained type scheme:
+
+* ``fix    : forall a. (a -> a) -> a``
+* ``fst    : forall a b. [(a * b) -> a / L(a) => L(b)]``
+* ``snd    : forall a b. [(a * b) -> b / L(b) => L(a)]``
+* ``mkpar  : forall a. [(int -> a) -> (a par) / L(a)]``
+* ``apply  : forall a b. [((a -> b) par * (a par)) -> (b par) / L(a) /\\ L(b)]``
+* ``put    : forall a. [(int -> a) par -> (int -> a) par / L(a)]``
+* ``nc     : forall a. unit -> a``
+* ``isnc   : forall a. [a -> bool / L(a)]``
+
+plus the arithmetic/boolean operators, which take pairs as in the paper
+(``+ : (int * int) -> int``), and ``nproc : int``, the static number of
+processes ``p`` (the paper's ``bsp_p()``).
+
+The ``fst``/``snd`` constraints are the heart of section 2.1's projection
+examples: the scheme itself is unconstrained enough to allow the first
+three uses, and instantiating it at ``(int * int par)`` turns
+``L(a) => L(b)`` into ``True => False``, rejecting the fourth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.constraints import CLoc, conj, imp
+from repro.core.schemes import TypeScheme, scheme_of
+from repro.core.types import (
+    BOOL,
+    INT,
+    TArrow,
+    TPair,
+    TPar,
+    TRef,
+    TVar,
+    UNIT_TYPE,
+    Type,
+)
+from repro.lang.ast import Const, ConstValue, UnitType
+
+_A = TVar("a")
+_B = TVar("b")
+
+_INT_PAIR = TPair(INT, INT)
+_BOOL_PAIR = TPair(BOOL, BOOL)
+
+
+def _op(domain: Type, codomain: Type) -> TypeScheme:
+    return scheme_of(TArrow(domain, codomain))
+
+
+#: Schemes of every primitive operation (the ``op`` cases of ``TC``).
+PRIMITIVE_SCHEMES: Dict[str, TypeScheme] = {
+    # arithmetic on integer pairs
+    "+": _op(_INT_PAIR, INT),
+    "-": _op(_INT_PAIR, INT),
+    "*": _op(_INT_PAIR, INT),
+    "/": _op(_INT_PAIR, INT),
+    "mod": _op(_INT_PAIR, INT),
+    # comparisons on integer pairs
+    "=": _op(_INT_PAIR, BOOL),
+    "<>": _op(_INT_PAIR, BOOL),
+    "<": _op(_INT_PAIR, BOOL),
+    "<=": _op(_INT_PAIR, BOOL),
+    ">": _op(_INT_PAIR, BOOL),
+    ">=": _op(_INT_PAIR, BOOL),
+    # booleans
+    "&&": _op(_BOOL_PAIR, BOOL),
+    "||": _op(_BOOL_PAIR, BOOL),
+    "not": _op(BOOL, BOOL),
+    # the static machine size p
+    "nproc": scheme_of(INT),
+    # fixpoint:  forall a. (a -> a) -> a
+    "fix": scheme_of(TArrow(TArrow(_A, _A), _A)),
+    # projections, with their locality implications
+    "fst": scheme_of(
+        TArrow(TPair(_A, _B), _A),
+        imp(CLoc("a"), CLoc("b")),
+    ),
+    "snd": scheme_of(
+        TArrow(TPair(_A, _B), _B),
+        imp(CLoc("b"), CLoc("a")),
+    ),
+    # the None-like constructor and its test
+    "nc": scheme_of(TArrow(UNIT_TYPE, _A)),
+    "isnc": scheme_of(TArrow(_A, BOOL), CLoc("a")),
+    # the parallel operations
+    "mkpar": scheme_of(
+        TArrow(TArrow(INT, _A), TPar(_A)),
+        CLoc("a"),
+    ),
+    "apply": scheme_of(
+        TArrow(TPair(TPar(TArrow(_A, _B)), TPar(_A)), TPar(_B)),
+        conj(CLoc("a"), CLoc("b")),
+    ),
+    "put": scheme_of(
+        TArrow(TPar(TArrow(INT, _A)), TPar(TArrow(INT, _A))),
+        CLoc("a"),
+    ),
+    # imperative extension (paper section 6): references hold local values
+    "ref": scheme_of(TArrow(_A, TRef(_A)), CLoc("a")),
+    "!": scheme_of(TArrow(TRef(_A), _A), CLoc("a")),
+    ":=": scheme_of(
+        TArrow(TPair(TRef(_A), _A), UNIT_TYPE),
+        CLoc("a"),
+    ),
+}
+
+
+def primitive_scheme(name: str) -> Optional[TypeScheme]:
+    """The ``TC`` scheme of a primitive, or None if unknown."""
+    return PRIMITIVE_SCHEMES.get(name)
+
+
+def constant_type(value: ConstValue) -> Type:
+    """The ``TC`` type of a constant: int, bool or unit."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, UnitType):
+        return UNIT_TYPE
+    raise TypeError(f"constant_type: unsupported constant {value!r}")
+
+
+def constant_scheme(const: Const) -> TypeScheme:
+    """The (monomorphic) scheme of a constant node."""
+    return scheme_of(constant_type(const.value))

@@ -1,0 +1,125 @@
+"""Rendering of typing derivations as proof trees (Figures 8, 9 and 10).
+
+:func:`explain` runs inference (without pruning, so constraints appear as
+the rules accumulate them), producing either a complete derivation tree
+or — for rejected programs — the failed sub-derivation with the paper's
+``?`` conclusion and the unsatisfiable constraint that caused it.
+
+Trees render in the usual natural-deduction style::
+
+      premise1      premise2
+    ------------------------- (Rule)
+           conclusion
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import NestingError, TypingError
+from repro.core.infer import Derivation, infer_with_derivation
+from repro.core.schemes import TypeEnv
+from repro.lang.ast import Expr
+from repro.lang.pretty import pretty
+
+
+@dataclass
+class Explanation:
+    """The outcome of :func:`explain`: verdict plus a renderable tree."""
+
+    expr: Expr
+    accepted: bool
+    derivation: Optional[Derivation]
+    error: Optional[TypingError] = None
+
+    @property
+    def verdict(self) -> str:
+        return "well-typed" if self.accepted else "rejected"
+
+    def render(self, max_width: int = 200) -> str:
+        header = f"{self.verdict}: {pretty(self.expr)}"
+        if self.derivation is None:
+            return f"{header}\n  {self.error}"
+        tree = render_derivation(self.derivation, max_width=max_width)
+        if self.error is not None:
+            tree += f"\n{self.error}"
+        return f"{header}\n{tree}"
+
+
+def explain(expr: Expr, env: Optional[TypeEnv] = None) -> Explanation:
+    """Type ``expr`` and package the derivation (or failure) for display."""
+    try:
+        _, derivation = infer_with_derivation(expr, env)
+        return Explanation(expr, True, derivation)
+    except NestingError as error:
+        return Explanation(expr, False, getattr(error, "derivation", None), error)
+    except TypingError as error:
+        return Explanation(expr, False, None, error)
+
+
+# -- tree layout -----------------------------------------------------------
+
+
+@dataclass
+class _Block:
+    """A rendered sub-tree: a list of equal-width lines plus the column
+    range of its conclusion (for centering the parent rule bar)."""
+
+    lines: List[str]
+    width: int
+
+
+def _conclusion_text(derivation: Derivation) -> str:
+    expr_text = pretty(derivation.expr)
+    if derivation.conclusion is None:
+        return f"|- {expr_text} : ?"
+    return f"|- {expr_text} : {derivation.conclusion}"
+
+
+def _block(derivation: Derivation, max_width: int) -> _Block:
+    conclusion = _conclusion_text(derivation)
+    if len(conclusion) > max_width:
+        conclusion = conclusion[: max_width - 3] + "..."
+    label = f" ({derivation.rule})"
+    if not derivation.premises:
+        bar = "-" * len(conclusion) + label
+        width = max(len(conclusion), len(bar))
+        return _Block(
+            [bar.ljust(width), conclusion.ljust(width)],
+            width,
+        )
+    children = [_block(premise, max_width) for premise in derivation.premises]
+    height = max(len(child.lines) for child in children)
+    padded = []
+    for child in children:
+        missing = height - len(child.lines)
+        padded.append([" " * child.width] * missing + child.lines)
+    gap = "   "
+    top_lines = [gap.join(row) for row in zip(*padded)] if children else []
+    top_width = max((len(line) for line in top_lines), default=0)
+    bar_core = "-" * max(len(conclusion), top_width)
+    bar = bar_core + label
+    width = max(top_width, len(bar), len(conclusion))
+    lines = [line.ljust(width) for line in top_lines]
+    lines.append(bar.ljust(width))
+    lines.append(conclusion.center(len(bar_core)).ljust(width))
+    return _Block(lines, width)
+
+
+def render_derivation(derivation: Derivation, max_width: int = 200) -> str:
+    """Render a derivation as an ASCII natural-deduction proof tree."""
+    block = _block(derivation, max_width)
+    return "\n".join(line.rstrip() for line in block.lines)
+
+
+def render_derivation_indented(derivation: Derivation, indent: int = 0) -> str:
+    """Alternative linear rendering: one judgement per line, indented by
+    derivation depth — more readable for deep (let-heavy) programs."""
+    pad = "  " * indent
+    note = f"   -- {derivation.note}" if derivation.note else ""
+    line = f"{pad}({derivation.rule}) {_conclusion_text(derivation)}{note}"
+    parts = [line]
+    for premise in derivation.premises:
+        parts.append(render_derivation_indented(premise, indent + 1))
+    return "\n".join(parts)

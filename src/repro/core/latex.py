@@ -1,0 +1,154 @@
+"""Export typing derivations to LaTeX (bussproofs), like the paper's figures.
+
+Figures 8-10 of the paper are natural-deduction proof trees; this module
+renders our :class:`~repro.core.infer.Derivation` objects in the same
+style using the ``bussproofs`` package, so the figures can be regenerated
+in publishable form::
+
+    from repro.core import infer_with_derivation, derivation_to_latex
+    _, derivation = infer_with_derivation(parse("fst (mkpar (fun i -> i), 1)"))
+    print(derivation_to_latex(derivation))
+
+``explanation_to_latex`` handles rejected programs too, rendering the
+failed conclusion as the paper's ``?``.
+
+bussproofs caps inferences at 5 premises; wider rules (a ``put`` over a
+big machine, say) are grouped pairwise automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.infer import Derivation
+from repro.core.judgments import Explanation
+from repro.core.schemes import ConstrainedType
+from repro.core.types import _variable_display_names, render_type
+from repro.core.constraints import TRUE, render_constraint
+from repro.lang.pretty import pretty
+
+_ESCAPES = {
+    "\\": r"\textbackslash{}",
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+}
+
+
+def latex_escape(text: str) -> str:
+    """Escape LaTeX special characters in plain text."""
+    return "".join(_ESCAPES.get(char, char) for char in text)
+
+
+def _type_to_latex(ct: Optional[ConstrainedType]) -> str:
+    if ct is None:
+        return "?"
+    names = _variable_display_names(ct.type)
+    for var in sorted(set(_constraint_vars(ct)) - set(names)):
+        names[var] = f"'{var}"
+    type_text = latex_escape(render_type(ct.type, names))
+    if ct.constraint == TRUE:
+        return rf"\mathtt{{{type_text}}}"
+    constraint_text = latex_escape(render_constraint(ct.constraint, names))
+    constraint_text = constraint_text.replace(r"/\textbackslash{}", r"\wedge ")
+    constraint_text = constraint_text.replace("=>", r"\Rightarrow ")
+    return rf"[\mathtt{{{type_text}}} \,/\, {constraint_text}]"
+
+
+def _constraint_vars(ct: ConstrainedType):
+    from repro.core.constraints import constraint_atoms
+
+    return constraint_atoms(ct.constraint)
+
+
+def _judgement(derivation: Derivation) -> str:
+    expr_text = latex_escape(pretty(derivation.expr))
+    if len(expr_text) > 120:
+        expr_text = expr_text[:117] + r"\dots"
+    return (
+        rf"$\vdash \mathtt{{{expr_text}}} : "
+        rf"{_type_to_latex(derivation.conclusion)}$"
+    )
+
+
+def _emit(derivation: Derivation, lines: List[str]) -> None:
+    premises = list(derivation.premises)
+    for premise in premises:
+        _emit(premise, lines)
+    # bussproofs supports Axiom + {Unary..Quinary}Inf; group wider rules.
+    arity = len(premises)
+    while arity > 5:
+        lines.append(r"\BinaryInfC{$\cdots$}")
+        arity -= 1
+    command = {
+        0: "AxiomC",
+        1: "UnaryInfC",
+        2: "BinaryInfC",
+        3: "TrinaryInfC",
+        4: "QuaternaryInfC",
+        5: "QuinaryInfC",
+    }[arity]
+    lines.append(rf"\RightLabel{{\scriptsize ({derivation.rule})}}")
+    if arity == 0:
+        # Axioms take no label line in bussproofs; fold the rule name in.
+        lines.pop()
+        lines.append(rf"\AxiomC{{}}")
+        lines.append(rf"\RightLabel{{\scriptsize ({derivation.rule})}}")
+        lines.append(rf"\UnaryInfC{{{_judgement(derivation)}}}")
+        return
+    lines.append(rf"\{command}{{{_judgement(derivation)}}}")
+
+
+def derivation_to_latex(derivation: Derivation, standalone: bool = False) -> str:
+    """Render a derivation as a bussproofs ``prooftree`` environment.
+
+    With ``standalone=True`` the output is a compilable document.
+    """
+    lines: List[str] = [r"\begin{prooftree}"]
+    _emit(derivation, lines)
+    lines.append(r"\end{prooftree}")
+    body = "\n".join(lines)
+    if not standalone:
+        return body
+    return "\n".join(
+        [
+            r"\documentclass{article}",
+            r"\usepackage{bussproofs}",
+            r"\usepackage[margin=1cm,landscape]{geometry}",
+            r"\begin{document}",
+            body,
+            r"\end{document}",
+        ]
+    )
+
+
+def explanation_to_latex(explanation: Explanation, standalone: bool = False) -> str:
+    """Render an :func:`~repro.core.judgments.explain` result, verdict line
+    included; works for rejected programs (the ``?`` conclusion)."""
+    if explanation.derivation is None:
+        verdict = latex_escape(str(explanation.error))
+        return rf"\textit{{{verdict}}}"
+    tree = derivation_to_latex(explanation.derivation, standalone=False)
+    caption = (
+        rf"\noindent\textbf{{{explanation.verdict}}}: "
+        rf"\texttt{{{latex_escape(pretty(explanation.expr))}}}\par"
+    )
+    body = caption + "\n" + tree
+    if not standalone:
+        return body
+    return "\n".join(
+        [
+            r"\documentclass{article}",
+            r"\usepackage{bussproofs}",
+            r"\usepackage[margin=1cm,landscape]{geometry}",
+            r"\begin{document}",
+            body,
+            r"\end{document}",
+        ]
+    )

@@ -1,0 +1,173 @@
+"""Baseline: classic Milner/Damas Algorithm W *without* locality constraints.
+
+This is "the typing of ML programs [10]" that the paper argues is not
+suited to BSML (section 2.1): it happily types ``example1`` at
+``(tau par) par``, ``example2`` at ``int par`` and the fourth projection
+``fst (1, mkpar ...)`` at ``int`` — all of which must be rejected for the
+BSP cost model to stay compositional.
+
+The benchmark ``bench_unsafe_corpus`` runs this baseline and the paper's
+system side by side over the corpus of section 2.1 programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import TypingError, UnboundVariableError, UnknownPrimitiveError
+from repro.core.initial_env import constant_scheme, primitive_scheme
+from repro.core.schemes import ConstrainedType, Subst, TypeEnv, TypeScheme, mono
+from repro.core.types import (
+    BOOL,
+    INT,
+    TArrow,
+    TPair,
+    TPar,
+    TSum,
+    TTuple,
+    Type,
+    fresh_tvar,
+    free_type_vars,
+)
+from repro.core.unify import unify
+from repro.lang.ast import (
+    Annot,
+    App,
+    Case,
+    Const,
+    Expr,
+    Fun,
+    If,
+    IfAt,
+    Inl,
+    Inr,
+    Let,
+    Pair,
+    ParVec,
+    Prim,
+    Tuple as TupleE,
+    Var,
+)
+
+
+class MilnerInferencer:
+    """Algorithm W over the same type algebra, constraints dropped."""
+
+    def __init__(self) -> None:
+        self.subst = Subst.identity()
+
+    def _unify(self, left: Type, right: Type, expr: Expr) -> None:
+        extra = unify(
+            self.subst.apply_type(left), self.subst.apply_type(right), expr.loc
+        )
+        self.subst = extra.compose(self.subst)
+
+    def _instantiate(self, scheme: TypeScheme) -> Type:
+        mapping = {old: fresh_tvar("m") for old in scheme.quantified}
+        return Subst(mapping).apply_type(scheme.body.type)
+
+    def _generalize(self, ty: Type, env: TypeEnv) -> TypeScheme:
+        quantified = tuple(sorted(free_type_vars(ty) - env.free_vars()))
+        return TypeScheme(quantified, ConstrainedType(ty))
+
+    def infer(self, env: TypeEnv, expr: Expr) -> Type:
+        if isinstance(expr, Var):
+            scheme = env.lookup(expr.name)
+            if scheme is None:
+                raise UnboundVariableError(expr.name, expr.loc)
+            return self.subst.apply_type(self._instantiate(scheme))
+        if isinstance(expr, Const):
+            return self._instantiate(constant_scheme(expr))
+        if isinstance(expr, Prim):
+            scheme = primitive_scheme(expr.name)
+            if scheme is None:
+                raise UnknownPrimitiveError(expr.name, expr.loc)
+            return self._instantiate(scheme)
+        if isinstance(expr, Fun):
+            param_ty = fresh_tvar("p")
+            body_ty = self.infer(env.extend(expr.param, mono(param_ty)), expr.body)
+            return TArrow(self.subst.apply_type(param_ty), body_ty)
+        if isinstance(expr, App):
+            fn_ty = self.infer(env, expr.fn)
+            arg_ty = self.infer(env.apply(self.subst), expr.arg)
+            result_ty = fresh_tvar("r")
+            self._unify(fn_ty, TArrow(arg_ty, result_ty), expr)
+            return self.subst.apply_type(result_ty)
+        if isinstance(expr, Let):
+            bound_ty = self.subst.apply_type(self.infer(env, expr.bound))
+            inner_env = env.apply(self.subst)
+            scheme = self._generalize(bound_ty, inner_env)
+            return self.infer(inner_env.extend(expr.name, scheme), expr.body)
+        if isinstance(expr, Pair):
+            first_ty = self.infer(env, expr.first)
+            second_ty = self.infer(env.apply(self.subst), expr.second)
+            return TPair(self.subst.apply_type(first_ty), second_ty)
+        if isinstance(expr, TupleE):
+            types = [self.infer(env.apply(self.subst), item) for item in expr.items]
+            return TTuple(tuple(self.subst.apply_type(ty) for ty in types))
+        if isinstance(expr, If):
+            cond_ty = self.infer(env, expr.cond)
+            self._unify(cond_ty, BOOL, expr.cond)
+            then_ty = self.infer(env.apply(self.subst), expr.then_branch)
+            else_ty = self.infer(env.apply(self.subst), expr.else_branch)
+            self._unify(then_ty, else_ty, expr)
+            return self.subst.apply_type(then_ty)
+        if isinstance(expr, IfAt):
+            vec_ty = self.infer(env, expr.vec)
+            self._unify(vec_ty, TPar(BOOL), expr.vec)
+            proc_ty = self.infer(env.apply(self.subst), expr.proc)
+            self._unify(proc_ty, INT, expr.proc)
+            then_ty = self.infer(env.apply(self.subst), expr.then_branch)
+            else_ty = self.infer(env.apply(self.subst), expr.else_branch)
+            self._unify(then_ty, else_ty, expr)
+            return self.subst.apply_type(then_ty)
+        if isinstance(expr, Annot):
+            from repro.core.infer import type_expr_to_type
+
+            inner = self.infer(env, expr.expr)
+            self._unify(inner, type_expr_to_type(expr.annotation), expr)
+            return self.subst.apply_type(inner)
+        if isinstance(expr, Inl):
+            return TSum(self.infer(env, expr.value), fresh_tvar("s"))
+        if isinstance(expr, Inr):
+            return TSum(fresh_tvar("s"), self.infer(env, expr.value))
+        if isinstance(expr, Case):
+            left_ty = fresh_tvar("sl")
+            right_ty = fresh_tvar("sr")
+            scrut_ty = self.infer(env, expr.scrutinee)
+            self._unify(scrut_ty, TSum(left_ty, right_ty), expr.scrutinee)
+            left_env = env.apply(self.subst).extend(
+                expr.left_name, mono(self.subst.apply_type(left_ty))
+            )
+            left_body_ty = self.infer(left_env, expr.left_body)
+            right_env = env.apply(self.subst).extend(
+                expr.right_name, mono(self.subst.apply_type(right_ty))
+            )
+            right_body_ty = self.infer(right_env, expr.right_body)
+            self._unify(left_body_ty, right_body_ty, expr)
+            return self.subst.apply_type(left_body_ty)
+        if isinstance(expr, ParVec):
+            content_ty: Type = fresh_tvar("v")
+            for item in expr.items:
+                item_ty = self.infer(env.apply(self.subst), item)
+                self._unify(item_ty, content_ty, item)
+            return TPar(self.subst.apply_type(content_ty))
+        raise TypingError(
+            f"cannot type expression node {type(expr).__name__}", expr.loc
+        )
+
+
+def milner_infer(expr: Expr, env: Optional[TypeEnv] = None) -> Type:
+    """Infer the Milner (unconstrained) type of ``expr``."""
+    engine = MilnerInferencer()
+    ty = engine.infer(env or TypeEnv.empty(), expr)
+    return engine.subst.apply_type(ty)
+
+
+def milner_typechecks(expr: Expr, env: Optional[TypeEnv] = None) -> bool:
+    """True when classic ML typing accepts ``expr``."""
+    try:
+        milner_infer(expr, env)
+        return True
+    except TypingError:
+        return False

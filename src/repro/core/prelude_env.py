@@ -1,0 +1,39 @@
+"""The prelude as a typing environment (a library module, not a term).
+
+Typing a user program that *uses* the prelude by wrapping it in ``let``
+bindings is subtly different from linking against a library: the paper's
+(Let) rule adds ``L(tau_body) => L(tau_bound)`` for every binding, so a
+local-typed program let-wrapped with an unused global helper such as
+``replicate : ['a -> 'a par / L('a)]`` would be rejected.  An OCaml
+module's values instead enter the *environment*, where only the (Var)
+instantiation rule applies.
+
+:func:`prelude_env` builds that environment: each prelude definition is
+inferred (in the environment of its predecessors) and generalized.  The
+schemes come out exactly as BSMLlib documents them, e.g.::
+
+    replicate : forall a. [a -> a par / L(a)]
+    bcast     : forall a. [int -> a par -> a par / L(a)]
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.infer import infer
+from repro.core.schemes import TypeEnv, generalize
+from repro.lang.prelude import prelude_asts
+
+
+@lru_cache(maxsize=1)
+def prelude_env() -> TypeEnv:
+    """The typing environment containing every prelude definition.
+
+    Cached: the prelude is fixed, and its schemes are closed under the
+    empty environment, so one shared instance is safe.
+    """
+    env = TypeEnv.empty()
+    for name, body in prelude_asts():
+        ct = infer(body, env, prune=True)
+        env = env.extend(name, generalize(ct, env))
+    return env

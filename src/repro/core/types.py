@@ -1,0 +1,268 @@
+"""The type algebra of the paper (section 4).
+
+Simple types::
+
+    tau ::= kappa            base type (bool, int, unit, ...)
+          | alpha            type variable
+          | tau1 -> tau2     function type
+          | tau1 * tau2      pair type
+          | (tau par)        parallel vector type
+
+plus, as the extension sketched in the paper's conclusion, n-ary tuple
+types ``tau1 * ... * taun`` for n >= 3 (:class:`TTuple`).
+
+Types are immutable; substitution produces new types.  Display follows
+OCaml conventions: variables print as ``'a``, ``'b``, ... in order of first
+appearance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of simple types."""
+
+    def children(self) -> Tuple["Type", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Type"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __str__(self) -> str:
+        return render_type(self)
+
+
+@dataclass(frozen=True)
+class TBase(Type):
+    """A base type ``kappa``: ``int``, ``bool`` or ``unit``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A type variable ``alpha``.
+
+    Names are globally unique strings produced by :func:`fresh_tvar`; the
+    pretty-printer maps them to ``'a``, ``'b``, ... for display.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TArrow(Type):
+    """A function type ``domain -> codomain``."""
+
+    domain: Type
+    codomain: Type
+
+    def children(self) -> Tuple[Type, ...]:
+        return (self.domain, self.codomain)
+
+
+@dataclass(frozen=True)
+class TPair(Type):
+    """A pair type ``first * second``."""
+
+    first: Type
+    second: Type
+
+    def children(self) -> Tuple[Type, ...]:
+        return (self.first, self.second)
+
+
+@dataclass(frozen=True)
+class TTuple(Type):
+    """An n-ary tuple type, n >= 3 (extension beyond the paper)."""
+
+    items: Tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 3:
+            raise ValueError("TTuple needs >= 3 items; use TPair for 2")
+
+    def children(self) -> Tuple[Type, ...]:
+        return self.items
+
+
+@dataclass(frozen=True)
+class TSum(Type):
+    """A binary sum type ``(left, right) sum`` (extension, paper sec. 6)."""
+
+    left: Type
+    right: Type
+
+    def children(self) -> Tuple[Type, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class TRef(Type):
+    """A mutable reference type ``content ref`` (imperative extension,
+    paper section 6)."""
+
+    content: Type
+
+    def children(self) -> Tuple[Type, ...]:
+        return (self.content,)
+
+
+@dataclass(frozen=True)
+class TPar(Type):
+    """A parallel vector type ``(content par)``."""
+
+    content: Type
+
+    def children(self) -> Tuple[Type, ...]:
+        return (self.content,)
+
+
+#: The base types of mini-BSML.
+INT = TBase("int")
+BOOL = TBase("bool")
+UNIT_TYPE = TBase("unit")
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_tvar(hint: str = "t") -> TVar:
+    """A globally fresh type variable; ``hint`` aids debugging only."""
+    return TVar(f"{hint}{next(_fresh_counter)}")
+
+
+def arrow(*types: Type) -> Type:
+    """Right-nested arrows: ``arrow(a, b, c)`` is ``a -> (b -> c)``."""
+    if not types:
+        raise ValueError("arrow needs at least one type")
+    result = types[-1]
+    for ty in reversed(types[:-1]):
+        result = TArrow(ty, result)
+    return result
+
+
+def free_type_vars(ty: Type) -> FrozenSet[str]:
+    """Names of the type variables occurring in ``ty``."""
+    return frozenset(node.name for node in ty.walk() if isinstance(node, TVar))
+
+
+def apply_type_subst(mapping: Dict[str, Type], ty: Type) -> Type:
+    """Apply a variable -> type mapping throughout ``ty``."""
+    if isinstance(ty, TVar):
+        return mapping.get(ty.name, ty)
+    if isinstance(ty, TBase):
+        return ty
+    if isinstance(ty, TArrow):
+        return TArrow(
+            apply_type_subst(mapping, ty.domain),
+            apply_type_subst(mapping, ty.codomain),
+        )
+    if isinstance(ty, TPair):
+        return TPair(
+            apply_type_subst(mapping, ty.first),
+            apply_type_subst(mapping, ty.second),
+        )
+    if isinstance(ty, TTuple):
+        return TTuple(tuple(apply_type_subst(mapping, item) for item in ty.items))
+    if isinstance(ty, TSum):
+        return TSum(
+            apply_type_subst(mapping, ty.left),
+            apply_type_subst(mapping, ty.right),
+        )
+    if isinstance(ty, TRef):
+        return TRef(apply_type_subst(mapping, ty.content))
+    if isinstance(ty, TPar):
+        return TPar(apply_type_subst(mapping, ty.content))
+    raise TypeError(f"apply_type_subst: unknown type node {type(ty).__name__}")
+
+
+def occurs_in(var_name: str, ty: Type) -> bool:
+    """True when the variable named ``var_name`` occurs in ``ty``."""
+    return any(isinstance(node, TVar) and node.name == var_name for node in ty.walk())
+
+
+def contains_par(ty: Type) -> bool:
+    """True when a parallel vector type occurs anywhere in ``ty``."""
+    return any(isinstance(node, TPar) for node in ty.walk())
+
+
+def has_nested_par(ty: Type) -> bool:
+    """True when a ``par`` occurs *inside* another ``par`` — the shape the
+    paper's type system must never let a well-typed program produce."""
+    def inside(node: Type, under_par: bool) -> bool:
+        if isinstance(node, TPar):
+            if under_par:
+                return True
+            under_par = True
+        return any(inside(child, under_par) for child in node.children())
+
+    return inside(ty, False)
+
+
+# -- rendering -----------------------------------------------------------
+
+_GREEK = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _variable_display_names(ty: Type) -> Dict[str, str]:
+    names: Dict[str, str] = {}
+    for node in ty.walk():
+        if isinstance(node, TVar) and node.name not in names:
+            index = len(names)
+            if index < len(_GREEK):
+                names[node.name] = f"'{_GREEK[index]}"
+            else:
+                names[node.name] = f"'a{index}"
+    return names
+
+
+def render_type(ty: Type, names: Dict[str, str] | None = None) -> str:
+    """Render ``ty`` in OCaml style, e.g. ``('a -> 'b) par * int``.
+
+    ``names`` optionally fixes the display name of each variable; by
+    default variables display as ``'a``, ``'b``, ... in first-appearance
+    order within ``ty``.
+    """
+    if names is None:
+        names = _variable_display_names(ty)
+    return _render(ty, names, 0)
+
+
+# Precedence: arrow 1 (right assoc), pair/tuple 2, par 3, atom 4.
+
+
+def _render(ty: Type, names: Dict[str, str], min_prec: int) -> str:
+    if isinstance(ty, TBase):
+        return ty.name
+    if isinstance(ty, TVar):
+        return names.get(ty.name, f"'{ty.name}")
+    if isinstance(ty, TArrow):
+        text = f"{_render(ty.domain, names, 2)} -> {_render(ty.codomain, names, 1)}"
+        return f"({text})" if min_prec > 1 else text
+    if isinstance(ty, TPair):
+        text = f"{_render(ty.first, names, 3)} * {_render(ty.second, names, 3)}"
+        return f"({text})" if min_prec > 2 else text
+    if isinstance(ty, TTuple):
+        text = " * ".join(_render(item, names, 3) for item in ty.items)
+        return f"({text})" if min_prec > 2 else text
+    if isinstance(ty, TSum):
+        text = (
+            f"({_render(ty.left, names, 0)}, {_render(ty.right, names, 0)}) sum"
+        )
+        return text
+    if isinstance(ty, TRef):
+        text = f"{_render(ty.content, names, 3)} ref"
+        return f"({text})" if min_prec > 3 else text
+    if isinstance(ty, TPar):
+        # Postfix constructors chain without parentheses: ``int par par``.
+        text = f"{_render(ty.content, names, 3)} par"
+        return f"({text})" if min_prec > 3 else text
+    raise TypeError(f"render_type: unknown type node {type(ty).__name__}")

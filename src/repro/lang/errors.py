@@ -1,0 +1,33 @@
+"""Exception hierarchy for the mini-BSML frontend.
+
+Typing errors live in :mod:`repro.core.errors` and evaluation errors in
+:mod:`repro.semantics.errors`; all of them derive from :class:`ReproError`
+so callers can catch everything the library raises with one clause.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import Loc
+
+
+class ReproError(Exception):
+    """Root of every exception raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error carrying an optional source location."""
+
+    def __init__(self, message: str, loc: Optional[Loc] = None) -> None:
+        self.bare_message = message
+        self.loc = loc
+        super().__init__(f"{loc}: {message}" if loc is not None else message)
+
+
+class LexError(SourceError):
+    """A lexical error: bad character, unterminated comment, bad number."""
+
+
+class ParseError(SourceError):
+    """A syntax error: unexpected token, missing keyword, bad binder."""

@@ -1,0 +1,201 @@
+"""Lexer for the concrete syntax of mini-BSML.
+
+The concrete syntax is a small OCaml-like surface language::
+
+    let bcast = fun n -> fun vec ->
+      let tosend = mkpar (fun i -> fun v -> fun dst ->
+                            if i = n then v else nc ()) in
+      let recv = put (apply (tosend, vec)) in
+      apply (recv, mkpar (fun pid -> n))
+    in bcast
+
+Comments are OCaml style ``(* ... *)`` and nest.  Integers, the booleans
+``true``/``false`` and the unit literal ``()`` are the constants.  Binary
+operators ``+ - * / mod = <> < <= > >= && ||`` are sugar for the pair-taking
+primitives of the paper (``e1 + e2`` parses to ``(+) (e1, e2)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto, unique
+from typing import Iterator, List
+
+from repro.lang.ast import Loc
+from repro.lang.errors import LexError
+
+
+@unique
+class TokenKind(Enum):
+    INT = auto()
+    IDENT = auto()
+    KEYWORD = auto()
+    SYMBOL = auto()
+    EOF = auto()
+
+
+#: Reserved words that can never be identifiers.
+KEYWORDS = frozenset(
+    (
+        "fun", "let", "in", "if", "then", "else", "at", "true", "false",
+        # sum types (extension, paper section 6)
+        "case", "of", "inl", "inr",
+    )
+)
+
+#: Multi-character symbols, longest first so maximal munch works.
+_SYMBOLS = (
+    ";;",
+    ":=",
+    ":",
+    "->",
+    "<=",
+    ">=",
+    "<>",
+    "&&",
+    "||",
+    "(",
+    ")",
+    ",",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<",
+    ">",
+    "|",
+    "!",
+    ";",
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789'")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its kind, text and source location."""
+
+    kind: TokenKind
+    text: str
+    loc: Loc
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<end of input>"
+        return repr(self.text)
+
+
+class Lexer:
+    """A one-pass lexer over a source string."""
+
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.source = source
+        self.filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def _loc(self) -> Loc:
+        return Loc(self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self.source):
+                return
+            if self.source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while True:
+            while self._peek() in (" ", "\t", "\r", "\n") and self._peek():
+                self._advance()
+            if self._peek() == "(" and self._peek(1) == "*":
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        start = self._loc()
+        depth = 0
+        while True:
+            if self._pos >= len(self.source):
+                raise LexError("unterminated comment", start)
+            if self._peek() == "(" and self._peek(1) == "*":
+                depth += 1
+                self._advance(2)
+            elif self._peek() == "*" and self._peek(1) == ")":
+                depth -= 1
+                self._advance(2)
+                if depth == 0:
+                    return
+            else:
+                self._advance()
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token of the input, ending with a single EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            loc = self._loc()
+            char = self._peek()
+            if not char:
+                yield Token(TokenKind.EOF, "", loc)
+                return
+            if char.isdigit():
+                yield self._lex_int(loc)
+                continue
+            if char in _IDENT_START:
+                yield self._lex_word(loc)
+                continue
+            if char == "'" and self._peek(1) in _IDENT_START:
+                # A type variable such as 'a (used in ascriptions).
+                self._advance()
+                word = self._lex_word(loc)
+                yield Token(TokenKind.IDENT, "'" + word.text, loc)
+                continue
+            symbol = self._match_symbol()
+            if symbol is not None:
+                yield Token(TokenKind.SYMBOL, symbol, loc)
+                continue
+            raise LexError(f"unexpected character {char!r}", loc)
+
+    def _lex_int(self, loc: Loc) -> Token:
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        text = self.source[start : self._pos]
+        if self._peek() in _IDENT_START:
+            raise LexError(f"malformed number {text + self._peek()!r}", loc)
+        return Token(TokenKind.INT, text, loc)
+
+    def _lex_word(self, loc: Loc) -> Token:
+        start = self._pos
+        while self._peek() and self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start : self._pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        # ``mod`` is a binary operator spelled as a word.
+        if text == "mod":
+            kind = TokenKind.SYMBOL
+        return Token(kind, text, loc)
+
+    def _match_symbol(self) -> str | None:
+        for symbol in _SYMBOLS:
+            if self.source.startswith(symbol, self._pos):
+                self._advance(len(symbol))
+                return symbol
+        return None
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return list(Lexer(source, filename).tokens())

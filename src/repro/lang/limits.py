@@ -1,0 +1,31 @@
+"""Recursion headroom for deeply nested programs.
+
+The parser, the inference engine and the evaluators are all recursive
+over the AST; a 500-deep ``let`` tower is a legitimate program but
+overflows CPython's default 1000-frame recursion limit.  Entry points
+wrap themselves in :func:`deep_recursion`, which raises the limit for the
+duration of the call (never lowers it, and restores it afterwards).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Frame budget granted to recursive passes over user programs.
+RECURSION_LIMIT = 100_000
+
+
+@contextmanager
+def deep_recursion(limit: int = RECURSION_LIMIT) -> Iterator[None]:
+    """Temporarily ensure at least ``limit`` frames of recursion."""
+    previous = sys.getrecursionlimit()
+    if previous >= limit:
+        yield
+        return
+    sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)

@@ -1,0 +1,510 @@
+"""Recursive-descent parser for the concrete syntax of mini-BSML.
+
+Grammar (from loosest to tightest binding)::
+
+    program   := definition* expr?            (top-level 'let' without 'in')
+    definition:= 'let' IDENT IDENT* '=' expr
+    expr      := 'fun' IDENT+ '->' expr
+               | 'let' IDENT IDENT* '=' expr 'in' expr
+               | 'if' expr ('at' expr)? 'then' expr 'else' expr
+               | tuple
+    tuple     := or ( ',' or )*               (2 items -> Pair, 3+ -> Tuple)
+    or        := and ( '||' and )*
+    and       := cmp ( '&&' cmp )*
+    cmp       := add ( ('='|'<>'|'<'|'<='|'>'|'>=') add )?
+    add       := mul ( ('+'|'-') mul )*
+    mul       := unary ( ('*'|'/'|'mod') unary )*
+    unary     := '-' unary | app
+    app       := atom atom+                   (left associative)
+    atom      := INT | 'true' | 'false' | '(' ')' | IDENT | '(' expr ')'
+
+Binary operators are sugar for the paper's pair-taking primitives:
+``e1 + e2`` parses to ``App(Prim('+'), Pair(e1, e2))``.  Identifiers that
+name primitives (``mkpar``, ``put``, ``fst``, ...) parse to :class:`Prim`
+nodes and cannot be rebound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple as TupleT
+
+from repro.lang.ast import (
+    UNIT,
+    Annot,
+    App,
+    Case,
+    Const,
+    Expr,
+    If,
+    IfAt,
+    Inl,
+    Inr,
+    Let,
+    Loc,
+    Pair,
+    Prim,
+    Tuple,
+    Var,
+    _with_loc,
+    fun,
+)
+from repro.lang.errors import ParseError
+from repro.lang.type_syntax import (
+    BASE_TYPE_NAMES,
+    TEArrow,
+    TEBase,
+    TEPar,
+    TEProduct,
+    TERef,
+    TESum,
+    TEVar,
+    TypeExpr,
+)
+from repro.lang.limits import deep_recursion
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+#: Identifiers that always denote primitive operations.
+PRIMITIVE_NAMES = frozenset(
+    (
+        "fst",
+        "snd",
+        "fix",
+        "nc",
+        "isnc",
+        "not",
+        "mkpar",
+        "apply",
+        "put",
+        "nproc",
+        # imperative extension (paper section 6)
+        "ref",
+    )
+)
+
+#: Binary operator symbols, each of which is also a primitive name.
+BINARY_OPERATORS = frozenset(
+    ("+", "-", "*", "/", "mod", "=", "<>", "<", "<=", ">", ">=", "&&", "||", ":=")
+)
+
+_CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/", "mod")
+
+#: Tokens that can begin an atom, used to decide when application stops.
+_ATOM_STARTERS = (TokenKind.INT, TokenKind.IDENT)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], filename: str) -> None:
+        self.tokens = tokens
+        self.filename = filename
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.text == word
+
+    def _at_symbol(self, *symbols: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.SYMBOL and token.text in symbols
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._at_keyword(word):
+            raise ParseError(f"expected {word!r}, found {self._peek()}", self._peek().loc)
+        return self._next()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self._at_symbol(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, found {self._peek()}", self._peek().loc
+            )
+        return self._next()
+
+    def _expect_binder(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected an identifier, found {token}", token.loc)
+        if token.text in PRIMITIVE_NAMES:
+            raise ParseError(
+                f"cannot rebind the primitive {token.text!r}", token.loc
+            )
+        return self._next()
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        expr = self._parse_nonseq()
+        # Sequencing ``e1 ; e2`` (imperative extension) desugars to
+        # ``let _ = e1 in e2``; right associative.
+        if self._at_symbol(";"):
+            loc = self._next().loc
+            rest = self.parse_expr()
+            return _with_loc(Let("_", expr, rest), loc)
+        return expr
+
+    def _parse_nonseq(self) -> Expr:
+        if self._at_keyword("fun"):
+            return self._parse_fun()
+        if self._at_keyword("let"):
+            return self._parse_let()
+        if self._at_keyword("if"):
+            return self._parse_if()
+        if self._at_keyword("case"):
+            return self._parse_case()
+        return self._parse_tuple()
+
+    def _parse_case(self) -> Expr:
+        """``case e of inl x -> e1 | inr y -> e2`` (sum-type extension)."""
+        loc = self._expect_keyword("case").loc
+        scrutinee = self.parse_expr()
+        self._expect_keyword("of")
+        self._expect_keyword("inl")
+        left_name = self._expect_binder().text
+        self._expect_symbol("->")
+        left_body = self.parse_expr()
+        self._expect_symbol("|")
+        self._expect_keyword("inr")
+        right_name = self._expect_binder().text
+        self._expect_symbol("->")
+        right_body = self.parse_expr()
+        return _with_loc(
+            Case(scrutinee, left_name, left_body, right_name, right_body), loc
+        )
+
+    def _parse_fun(self) -> Expr:
+        loc = self._expect_keyword("fun").loc
+        params = [self._expect_binder().text]
+        while self._peek().kind is TokenKind.IDENT:
+            params.append(self._expect_binder().text)
+        self._expect_symbol("->")
+        body = self.parse_expr()
+        return _with_loc(fun(tuple(params), body), loc)
+
+    def _parse_let(self) -> Expr:
+        loc = self._expect_keyword("let").loc
+        name = self._expect_binder().text
+        params = []
+        while self._peek().kind is TokenKind.IDENT:
+            params.append(self._expect_binder().text)
+        self._expect_symbol("=")
+        bound = self.parse_expr()
+        if params:
+            bound = fun(tuple(params), bound)
+        self._expect_keyword("in")
+        body = self.parse_expr()
+        return _with_loc(Let(name, bound, body), loc)
+
+    def _parse_if(self) -> Expr:
+        loc = self._expect_keyword("if").loc
+        cond = self.parse_expr()
+        proc: Optional[Expr] = None
+        if self._at_keyword("at"):
+            self._next()
+            proc = self.parse_expr()
+        self._expect_keyword("then")
+        then_branch = self.parse_expr()
+        self._expect_keyword("else")
+        else_branch = self.parse_expr()
+        if proc is None:
+            return _with_loc(If(cond, then_branch, else_branch), loc)
+        return _with_loc(IfAt(cond, proc, then_branch, else_branch), loc)
+
+    def _parse_tuple(self) -> Expr:
+        first = self._parse_assign()
+        if not self._at_symbol(","):
+            return first
+        items = [first]
+        while self._at_symbol(","):
+            self._next()
+            items.append(self._parse_assign())
+        if len(items) == 2:
+            return Pair(items[0], items[1])
+        return Tuple(tuple(items))
+
+    def _parse_assign(self) -> Expr:
+        """``e1 := e2`` (imperative extension), right associative."""
+        left = self._parse_or()
+        if self._at_symbol(":="):
+            loc = self._next().loc
+            right = self._parse_assign()
+            return self._binop(":=", left, right, loc)
+        return left
+
+    def _binop(self, op: str, left: Expr, right: Expr, loc: Loc) -> Expr:
+        return _with_loc(App(Prim(op), Pair(left, right)), loc)
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._at_symbol("||"):
+            loc = self._next().loc
+            left = self._binop("||", left, self._parse_and(), loc)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_cmp()
+        while self._at_symbol("&&"):
+            loc = self._next().loc
+            left = self._binop("&&", left, self._parse_cmp(), loc)
+        return left
+
+    def _parse_cmp(self) -> Expr:
+        left = self._parse_add()
+        if self._at_symbol(*_CMP_OPS):
+            token = self._next()
+            right = self._parse_add()
+            return self._binop(token.text, left, right, token.loc)
+        return left
+
+    def _parse_add(self) -> Expr:
+        left = self._parse_mul()
+        while self._at_symbol(*_ADD_OPS):
+            token = self._next()
+            left = self._binop(token.text, left, self._parse_mul(), token.loc)
+        return left
+
+    def _parse_mul(self) -> Expr:
+        left = self._parse_unary()
+        while self._at_symbol(*_MUL_OPS):
+            token = self._next()
+            left = self._binop(token.text, left, self._parse_unary(), token.loc)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._at_symbol("-"):
+            token = self._next()
+            operand = self._parse_unary()
+            # A negated literal is a (negative) constant, so that pretty
+            # printing Const(-6) as "-6" round-trips; anything else is the
+            # usual 0 - e desugaring.
+            if isinstance(operand, Const) and isinstance(operand.value, int) and not isinstance(operand.value, bool):
+                return _with_loc(Const(-operand.value), token.loc)
+            return self._binop("-", _with_loc(Const(0), token.loc), operand, token.loc)
+        return self._parse_app()
+
+    def _starts_atom(self) -> bool:
+        token = self._peek()
+        if token.kind in _ATOM_STARTERS:
+            return True
+        if token.kind is TokenKind.KEYWORD and token.text in ("true", "false"):
+            return True
+        return token.kind is TokenKind.SYMBOL and token.text in ("(", "!")
+
+    def _parse_app(self) -> Expr:
+        expr = self._parse_atom()
+        while self._starts_atom():
+            arg = self._parse_atom()
+            expr = App(expr, arg)
+        return expr
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._next()
+            return _with_loc(Const(int(token.text)), token.loc)
+        if token.kind is TokenKind.KEYWORD and token.text in ("true", "false"):
+            self._next()
+            return _with_loc(Const(token.text == "true"), token.loc)
+        if self._at_symbol("!"):
+            bang = self._next()
+            target = self._parse_atom()
+            return _with_loc(App(Prim("!"), target), bang.loc)
+        if token.kind is TokenKind.KEYWORD and token.text in ("inl", "inr"):
+            self._next()
+            payload = self._parse_atom()
+            node = Inl(payload) if token.text == "inl" else Inr(payload)
+            return _with_loc(node, token.loc)
+        if token.kind is TokenKind.IDENT:
+            self._next()
+            if token.text in PRIMITIVE_NAMES:
+                return _with_loc(Prim(token.text), token.loc)
+            return _with_loc(Var(token.text), token.loc)
+        if self._at_symbol("("):
+            open_loc = self._next().loc
+            if self._at_symbol(")"):
+                self._next()
+                return _with_loc(Const(UNIT), open_loc)
+            # Operator section ``(+)``: the operator as a first-class value.
+            head = self._peek()
+            if (
+                head.kind is TokenKind.SYMBOL
+                and (head.text in BINARY_OPERATORS or head.text == "!")
+                and self._peek(1).kind is TokenKind.SYMBOL
+                and self._peek(1).text == ")"
+            ):
+                self._next()
+                self._next()
+                return _with_loc(Prim(head.text), open_loc)
+            inner = self.parse_expr()
+            if self._at_symbol(":"):
+                self._next()
+                annotation = self._parse_type()
+                self._expect_symbol(")")
+                return _with_loc(Annot(inner, annotation), open_loc)
+            self._expect_symbol(")")
+            return inner
+        raise ParseError(f"expected an expression, found {token}", token.loc)
+
+    # -- types (ascriptions) ------------------------------------------------
+
+    def _parse_type(self) -> TypeExpr:
+        left = self._parse_type_product()
+        if self._at_symbol("->"):
+            self._next()
+            return TEArrow(left, self._parse_type())
+        return left
+
+    def _parse_type_product(self) -> TypeExpr:
+        items = [self._parse_type_postfix()]
+        while self._at_symbol("*"):
+            self._next()
+            items.append(self._parse_type_postfix())
+        if len(items) == 1:
+            return items[0]
+        return TEProduct(tuple(items))
+
+    def _parse_type_postfix(self) -> TypeExpr:
+        ty = self._parse_type_atom()
+        while (
+            self._peek().kind is TokenKind.IDENT
+            and self._peek().text in ("par", "ref")
+        ):
+            word = self._next().text
+            ty = TEPar(ty) if word == "par" else TERef(ty)
+        return ty
+
+    def _parse_type_atom(self) -> TypeExpr:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            if token.text in BASE_TYPE_NAMES:
+                self._next()
+                return TEBase(token.text)
+            if token.text.startswith("'"):
+                self._next()
+                return TEVar(token.text[1:])
+            raise ParseError(f"unknown type name {token}", token.loc)
+        if self._at_symbol("("):
+            self._next()
+            first = self._parse_type()
+            if self._at_symbol(","):
+                self._next()
+                second = self._parse_type()
+                self._expect_symbol(")")
+                word = self._peek()
+                if word.kind is TokenKind.IDENT and word.text == "sum":
+                    self._next()
+                    return TESum(first, second)
+                raise ParseError(
+                    f"expected 'sum' after a type pair, found {word}", word.loc
+                )
+            self._expect_symbol(")")
+            return first
+        raise ParseError(f"expected a type, found {token}", token.loc)
+
+    # -- programs ---------------------------------------------------------
+
+    def parse_program(self) -> TupleT[List[TupleT[str, Expr]], Optional[Expr]]:
+        """Parse top-level definitions followed by an optional expression.
+
+        Definitions are ``let`` items without an ``in``.  An optional ``;;``
+        terminates any top-level item; it is required between a definition
+        and a following expression that could otherwise be read as more
+        applied arguments (same rule as OCaml).
+        """
+        definitions: List[TupleT[str, Expr]] = []
+        while True:
+            while self._at_symbol(";;"):
+                self._next()
+            if self._peek().kind is TokenKind.EOF:
+                return definitions, None
+            if self._at_keyword("let") and self._is_toplevel_let():
+                self._expect_keyword("let")
+                name = self._expect_binder().text
+                params = []
+                while self._peek().kind is TokenKind.IDENT:
+                    params.append(self._expect_binder().text)
+                self._expect_symbol("=")
+                bound = self.parse_expr()
+                if params:
+                    bound = fun(tuple(params), bound)
+                definitions.append((name, bound))
+                continue
+            final = self.parse_expr()
+            while self._at_symbol(";;"):
+                self._next()
+            self._expect_eof()
+            return definitions, final
+
+    def _is_toplevel_let(self) -> bool:
+        """Decide whether the upcoming ``let`` lacks an ``in`` (a definition).
+
+        Implemented by speculative parsing with backtracking over the token
+        list; cheap because programs are small.
+        """
+        saved = self.index
+        try:
+            self._expect_keyword("let")
+            self._expect_binder()
+            while self._peek().kind is TokenKind.IDENT:
+                self._expect_binder()
+            self._expect_symbol("=")
+            self.parse_expr()
+            return not self._at_keyword("in")
+        except ParseError:
+            # Let the real parse report the error with proper context.
+            return False
+        finally:
+            self.index = saved
+
+    def _expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            raise ParseError(f"unexpected {token} after expression", token.loc)
+
+
+def parse_expression(source: str, filename: str = "<input>") -> Expr:
+    """Parse a single mini-BSML expression from ``source``."""
+    with deep_recursion():
+        parser = _Parser(tokenize(source, filename), filename)
+        expr = parser.parse_expr()
+        parser._expect_eof()
+        return expr
+
+
+def parse_definitions(
+    source: str, filename: str = "<input>"
+) -> List[TupleT[str, Expr]]:
+    """Parse a sequence of top-level ``let`` definitions (no final expression)."""
+    with deep_recursion():
+        parser = _Parser(tokenize(source, filename), filename)
+        definitions, final = parser.parse_program()
+    if final is not None:
+        raise ParseError(
+            "expected only top-level definitions, found a trailing expression",
+            None,
+        )
+    return definitions
+
+
+def parse_program(source: str, filename: str = "<input>") -> Expr:
+    """Parse definitions plus a final expression into one nested-let term."""
+    with deep_recursion():
+        parser = _Parser(tokenize(source, filename), filename)
+        definitions, final = parser.parse_program()
+    if final is None:
+        raise ParseError("program has no final expression", None)
+    result = final
+    for name, bound in reversed(definitions):
+        result = Let(name, bound, result)
+    return result

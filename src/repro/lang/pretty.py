@@ -1,0 +1,170 @@
+"""Pretty-printer for mini-BSML expressions.
+
+Produces concrete syntax that re-parses to an alpha-equal (in fact equal)
+term — the round-trip property ``parse(pretty(e)) == e`` is part of the
+test suite.  Parallel vectors, which have no source syntax, print with the
+paper's angle brackets ``<e_0, ..., e_{p-1}>``; such terms are for display
+only and do not re-parse.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Annot,
+    App,
+    Case,
+    Const,
+    Expr,
+    Fun,
+    If,
+    IfAt,
+    Inl,
+    Inr,
+    Let,
+    Pair,
+    ParVec,
+    Prim,
+    Tuple,
+    Var,
+)
+from repro.lang.parser import BINARY_OPERATORS
+
+# Precedence levels, mirroring the parser: bigger binds tighter.
+_PREC_EXPR = 0  # fun / let / if
+_PREC_TUPLE = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_CMP = 4
+_PREC_ADD = 5
+_PREC_MUL = 6
+_PREC_APP = 7
+_PREC_ATOM = 8
+
+#: Assignment sits between tuples and ``||``: right associative.
+_PREC_ASSIGN = 1.5
+
+_OP_PREC = {
+    ":=": (_PREC_ASSIGN, _PREC_OR, _PREC_ASSIGN),
+    "||": (_PREC_OR, _PREC_OR, _PREC_AND),
+    "&&": (_PREC_AND, _PREC_AND, _PREC_CMP),
+    "=": (_PREC_CMP, _PREC_ADD, _PREC_ADD),
+    "<>": (_PREC_CMP, _PREC_ADD, _PREC_ADD),
+    "<": (_PREC_CMP, _PREC_ADD, _PREC_ADD),
+    "<=": (_PREC_CMP, _PREC_ADD, _PREC_ADD),
+    ">": (_PREC_CMP, _PREC_ADD, _PREC_ADD),
+    ">=": (_PREC_CMP, _PREC_ADD, _PREC_ADD),
+    "+": (_PREC_ADD, _PREC_ADD, _PREC_MUL),
+    "-": (_PREC_ADD, _PREC_ADD, _PREC_MUL),
+    "*": (_PREC_MUL, _PREC_MUL, _PREC_APP),
+    "/": (_PREC_MUL, _PREC_MUL, _PREC_APP),
+    "mod": (_PREC_MUL, _PREC_MUL, _PREC_APP),
+}
+
+# Comparison is non-associative in the parser, so a comparison operand that
+# is itself a comparison must be parenthesized; handled by requiring
+# operand precedence strictly above _PREC_CMP on both sides (see table).
+
+
+def pretty(expr: Expr) -> str:
+    """Render ``expr`` as concrete mini-BSML syntax."""
+    return _render(expr, _PREC_EXPR)
+
+
+def _paren(text: str, need: bool) -> str:
+    return f"({text})" if need else text
+
+
+def _infix_parts(expr: Expr):
+    """If ``expr`` is ``op (e1, e2)`` for a binary operator, return them."""
+    if (
+        isinstance(expr, App)
+        and isinstance(expr.fn, Prim)
+        and expr.fn.name in BINARY_OPERATORS
+        and isinstance(expr.arg, Pair)
+    ):
+        return expr.fn.name, expr.arg.first, expr.arg.second
+    return None
+
+
+def _render(expr: Expr, min_prec: int) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        text = str(expr)
+        # A negative literal reads as a unary minus, which binds like
+        # addition: parenthesize it anywhere tighter (e.g. ``f (-6)``).
+        need = text.startswith("-") and min_prec > _PREC_ADD
+        return _paren(text, need)
+    if isinstance(expr, Prim):
+        # Operator symbols used as atoms must wear parentheses: ``(+)``.
+        if expr.name in BINARY_OPERATORS or expr.name == "!":
+            return f"({expr.name})"
+        return expr.name
+    if isinstance(expr, Fun):
+        params = [expr.param]
+        body = expr.body
+        while isinstance(body, Fun):
+            params.append(body.param)
+            body = body.body
+        text = f"fun {' '.join(params)} -> {_render(body, _PREC_EXPR)}"
+        return _paren(text, min_prec > _PREC_EXPR)
+    if isinstance(expr, Let):
+        text = (
+            f"let {expr.name} = {_render(expr.bound, _PREC_EXPR)} "
+            f"in {_render(expr.body, _PREC_EXPR)}"
+        )
+        return _paren(text, min_prec > _PREC_EXPR)
+    if isinstance(expr, If):
+        text = (
+            f"if {_render(expr.cond, _PREC_EXPR)} "
+            f"then {_render(expr.then_branch, _PREC_EXPR)} "
+            f"else {_render(expr.else_branch, _PREC_EXPR)}"
+        )
+        return _paren(text, min_prec > _PREC_EXPR)
+    if isinstance(expr, IfAt):
+        text = (
+            f"if {_render(expr.vec, _PREC_TUPLE)} "
+            f"at {_render(expr.proc, _PREC_TUPLE)} "
+            f"then {_render(expr.then_branch, _PREC_EXPR)} "
+            f"else {_render(expr.else_branch, _PREC_EXPR)}"
+        )
+        return _paren(text, min_prec > _PREC_EXPR)
+    if isinstance(expr, Pair):
+        text = f"{_render(expr.first, _PREC_OR)}, {_render(expr.second, _PREC_OR)}"
+        return _paren(text, min_prec > _PREC_TUPLE)
+    if isinstance(expr, Tuple):
+        text = ", ".join(_render(item, _PREC_OR) for item in expr.items)
+        return _paren(text, min_prec > _PREC_TUPLE)
+    if isinstance(expr, Annot):
+        from repro.lang.type_syntax import render_type_expr
+
+        return f"({_render(expr.expr, _PREC_EXPR)} : {render_type_expr(expr.annotation)})"
+    if isinstance(expr, ParVec):
+        inner = ", ".join(_render(item, _PREC_EXPR) for item in expr.items)
+        return f"<{inner}>"
+    if isinstance(expr, (Inl, Inr)):
+        keyword = "inl" if isinstance(expr, Inl) else "inr"
+        text = f"{keyword} {_render(expr.value, _PREC_ATOM)}"
+        return _paren(text, min_prec > _PREC_APP)
+    if isinstance(expr, Case):
+        text = (
+            f"case {_render(expr.scrutinee, _PREC_EXPR)} of "
+            f"inl {expr.left_name} -> {_render(expr.left_body, _PREC_EXPR)} "
+            f"| inr {expr.right_name} -> {_render(expr.right_body, _PREC_EXPR)}"
+        )
+        return _paren(text, min_prec > _PREC_EXPR)
+    if isinstance(expr, App):
+        # Dereference prints prefix: ``!r`` (imperative extension).
+        if isinstance(expr.fn, Prim) and expr.fn.name == "!":
+            return f"!{_render(expr.arg, _PREC_ATOM)}"
+        parts = _infix_parts(expr)
+        if parts is not None:
+            op, left, right = parts
+            node_prec, left_prec, right_prec = _OP_PREC[op]
+            text = (
+                f"{_render(left, left_prec)} {op} {_render(right, right_prec)}"
+            )
+            return _paren(text, min_prec > node_prec)
+        text = f"{_render(expr.fn, _PREC_APP)} {_render(expr.arg, _PREC_ATOM)}"
+        return _paren(text, min_prec > _PREC_APP)
+    raise TypeError(f"pretty: unknown expression node {type(expr).__name__}")

@@ -1,0 +1,111 @@
+"""Surface syntax for types: the ascription extension ``(e : ty)``.
+
+Users can annotate any parenthesized expression with a type::
+
+    (mkpar (fun i -> i) : int par)
+    (fun x -> x : 'a -> 'a)
+    ((1, true, ()) : int * bool * unit)
+    (inl 1 : (int, bool) sum)
+    (ref 0 : int ref)
+
+The type grammar mirrors the pretty-printer of :mod:`repro.core.types`::
+
+    ty      := prod ('->' ty)?                 (arrow, right associative)
+    prod    := postfix ('*' postfix)*          (2 -> pair, 3+ -> tuple)
+    postfix := atom ('par' | 'ref')*           (postfix constructors chain)
+    atom    := 'int' | 'bool' | 'unit'
+             | ''' IDENT                       (a type variable, 'a)
+             | '(' ty ')'
+             | '(' ty ',' ty ')' 'sum'         (binary sums)
+
+This module defines the *syntactic* type AST (kept separate from
+:mod:`repro.core.types` to avoid a package cycle: ``core`` depends on
+``lang``); :func:`repro.core.infer.type_expr_to_type` converts it to a
+semantic type, giving each named type variable one fresh semantic
+variable per annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """Base class of syntactic types."""
+
+    def __str__(self) -> str:
+        return render_type_expr(self)
+
+
+@dataclass(frozen=True)
+class TEBase(TypeExpr):
+    name: str  # int | bool | unit
+
+
+@dataclass(frozen=True)
+class TEVar(TypeExpr):
+    name: str  # without the leading quote
+
+
+@dataclass(frozen=True)
+class TEArrow(TypeExpr):
+    domain: TypeExpr
+    codomain: TypeExpr
+
+
+@dataclass(frozen=True)
+class TEProduct(TypeExpr):
+    items: Tuple[TypeExpr, ...]  # length >= 2
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 2:
+            raise ValueError("a product type needs at least two components")
+
+
+@dataclass(frozen=True)
+class TESum(TypeExpr):
+    left: TypeExpr
+    right: TypeExpr
+
+
+@dataclass(frozen=True)
+class TEPar(TypeExpr):
+    content: TypeExpr
+
+
+@dataclass(frozen=True)
+class TERef(TypeExpr):
+    content: TypeExpr
+
+
+#: Names accepted as base types.
+BASE_TYPE_NAMES = frozenset(("int", "bool", "unit"))
+
+
+def render_type_expr(ty: TypeExpr, min_prec: int = 0) -> str:
+    """Render back to the surface syntax (round-trips through the parser)."""
+    if isinstance(ty, TEBase):
+        return ty.name
+    if isinstance(ty, TEVar):
+        return f"'{ty.name}"
+    if isinstance(ty, TEArrow):
+        text = (
+            f"{render_type_expr(ty.domain, 2)} -> "
+            f"{render_type_expr(ty.codomain, 1)}"
+        )
+        return f"({text})" if min_prec > 1 else text
+    if isinstance(ty, TEProduct):
+        text = " * ".join(render_type_expr(item, 3) for item in ty.items)
+        return f"({text})" if min_prec > 2 else text
+    if isinstance(ty, TESum):
+        return (
+            f"({render_type_expr(ty.left, 0)}, "
+            f"{render_type_expr(ty.right, 0)}) sum"
+        )
+    if isinstance(ty, (TEPar, TERef)):
+        keyword = "par" if isinstance(ty, TEPar) else "ref"
+        text = f"{render_type_expr(ty.content, 3)} {keyword}"
+        return f"({text})" if min_prec > 3 else text
+    raise TypeError(f"render_type_expr: unknown node {type(ty).__name__}")

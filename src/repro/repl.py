@@ -1,0 +1,200 @@
+"""An interactive mini-BSML REPL (``minibsml repl``).
+
+Reads expressions or ``let`` definitions, typechecks them against the
+prelude plus the session's own definitions, evaluates them on the
+session's BSP machine, and prints value, type and (on demand) cost.
+
+Meta-commands::
+
+    :type <expr>     infer and print the type scheme, nothing is evaluated
+    :explain <expr>  print the typing derivation (or the rejection tree)
+    :trace <expr>    print the small-step reduction sequence
+    :cost            print the BSP cost accumulated so far
+    :reset           forget definitions and cost
+    :p <n> [g] [l]   restart the machine with new BSP parameters
+    :env             list the session's definitions
+    :quit            leave
+
+Definitions are ordinary ``let`` items without ``in``::
+
+    minibsml> let v = mkpar (fun i -> i * i)
+    val v : int par = <0, 1, 4, 9>
+    minibsml> bcast 2 v
+    - : int par = <4, 4, 4, 4>
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+from repro.bsp.machine import BspMachine
+from repro.bsp.params import BspParams
+from repro.core.infer import infer
+from repro.core.judgments import explain
+from repro.core.prelude_env import prelude_env
+from repro.core.schemes import TypeEnv, generalize
+from repro.lang.ast import Expr
+from repro.lang.errors import ReproError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import _Parser
+from repro.lang.prelude import prelude_map, with_prelude
+from repro.lang.pretty import pretty
+from repro.lang.substitution import free_vars, substitute
+from repro.semantics.bigstep import Evaluator
+from repro.semantics.errors import EvalError
+from repro.semantics.smallstep import trace as smallstep_trace
+from repro.semantics.values import Value, reify
+
+
+class Session:
+    """One REPL session: typing environment, value environment, machine."""
+
+    def __init__(self, params: Optional[BspParams] = None) -> None:
+        self.params = params or BspParams(p=4, g=1.0, l=20.0)
+        self.reset()
+
+    def reset(self) -> None:
+        self.machine = BspMachine(self.params)
+        self.evaluator = Evaluator(self.params.p, self.machine)
+        self.type_env: TypeEnv = prelude_env()
+        self.values: Dict[str, Value] = {}
+        for name, body in prelude_map().items():
+            self.values[name] = Evaluator(self.params.p).eval(
+                with_prelude(body)
+            )
+        self.definitions: Dict[str, str] = {}
+
+    def set_params(self, params: BspParams) -> None:
+        self.params = params
+        self.reset()
+
+    # -- input handling -----------------------------------------------------
+
+    def handle(self, line: str, out: TextIO) -> bool:
+        """Process one input line; returns False when the session ends."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            if line.startswith(":"):
+                return self._meta(line, out)
+            self._program(line, out)
+        except (ReproError, EvalError) as error:
+            print(f"error: {error}", file=out)
+        return True
+
+    def _meta(self, line: str, out: TextIO) -> bool:
+        command, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if command in (":quit", ":q", ":exit"):
+            return False
+        if command == ":type":
+            expr = self._parse_expr(rest)
+            ct = infer(expr, self.type_env)
+            print(f"- : {generalize(ct, self.type_env)}", file=out)
+            return True
+        if command == ":explain":
+            expr = self._parse_expr(rest)
+            print(explain(expr, self.type_env).render(), file=out)
+            return True
+        if command == ":trace":
+            expr = self._close(self._parse_expr(rest))
+            for index, state in enumerate(smallstep_trace(expr, self.params.p, 50_000)):
+                print(f"{index:>4}  {pretty(state)}", file=out)
+            return True
+        if command == ":cost":
+            print(self.machine.cost().render(self.params), file=out)
+            return True
+        if command == ":reset":
+            self.reset()
+            print("session reset", file=out)
+            return True
+        if command == ":env":
+            for name, source in self.definitions.items():
+                print(f"let {name} = {source}", file=out)
+            if not self.definitions:
+                print("(no session definitions; the prelude is loaded)", file=out)
+            return True
+        if command == ":p":
+            parts = rest.split()
+            if not parts:
+                print(f"machine: {self.params.describe()}", file=out)
+                return True
+            p = int(parts[0])
+            g = float(parts[1]) if len(parts) > 1 else self.params.g
+            l = float(parts[2]) if len(parts) > 2 else self.params.l
+            self.set_params(BspParams(p=p, g=g, l=l))
+            print(f"machine restarted: {self.params.describe()}", file=out)
+            return True
+        print(f"unknown command {command!r} (try :type :explain :trace :cost "
+              ":reset :env :p :quit)", file=out)
+        return True
+
+    def _program(self, line: str, out: TextIO) -> None:
+        definitions, final = self._parse_program(line)
+        for name, body in definitions:
+            ct = infer(body, self.type_env)
+            scheme = generalize(ct, self.type_env)
+            value = self.evaluator.eval(body, dict(self.values))
+            self.type_env = self.type_env.extend(name, scheme)
+            self.values[name] = value
+            self.definitions[name] = pretty(body)
+            print(f"val {name} : {scheme} = {self._show(value)}", file=out)
+        if final is not None:
+            ct = infer(final, self.type_env)
+            value = self.evaluator.eval(final, dict(self.values))
+            print(f"- : {ct} = {self._show(value)}", file=out)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _parse_expr(self, source: str) -> Expr:
+        parser = _Parser(tokenize(source, "<repl>"), "<repl>")
+        expr = parser.parse_expr()
+        parser._expect_eof()
+        return expr
+
+    def _parse_program(self, source: str):
+        parser = _Parser(tokenize(source, "<repl>"), "<repl>")
+        return parser.parse_program()
+
+    def _close(self, expr: Expr) -> Expr:
+        """Substitute session/prelude values into a term for tracing."""
+        result = expr
+        for name in sorted(free_vars(expr)):
+            if name in self.values:
+                result = substitute(result, name, reify(self.values[name]))
+        return result
+
+    def _show(self, value: Value) -> str:
+        try:
+            return pretty(reify(value))
+        except (EvalError, TypeError):
+            return f"<{type(value).__name__.lstrip('V').lower()}>"
+
+
+def run_repl(
+    input_stream: Optional[TextIO] = None,
+    output_stream: Optional[TextIO] = None,
+    params: Optional[BspParams] = None,
+    banner: bool = True,
+) -> int:
+    """Run the REPL loop until EOF or ``:quit``."""
+    stdin = input_stream if input_stream is not None else sys.stdin
+    out = output_stream if output_stream is not None else sys.stdout
+    session = Session(params)
+    interactive = stdin.isatty() if hasattr(stdin, "isatty") else False
+    if banner:
+        print(
+            f"mini-BSML repl — machine {session.params.describe()} — "
+            ":quit to leave, :type/:explain/:trace/:cost for tools",
+            file=out,
+        )
+    while True:
+        if interactive:
+            print("minibsml> ", end="", file=out, flush=True)
+        line = stdin.readline()
+        if not line:
+            return 0
+        if not session.handle(line, out):
+            return 0

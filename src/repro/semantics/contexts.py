@@ -1,0 +1,161 @@
+"""Evaluation contexts (Figure 5): decomposition and plugging.
+
+A non-value expression decomposes uniquely as ``Gamma(redex)`` where
+``Gamma`` is an evaluation context and the redex sits at the context's
+hole.  The hole is *local* (the paper's ``Gamma_l``) when it lies inside a
+parallel-vector component, *global* otherwise; the two kinds exclude each
+other by construction, and only local head rules may fire in a local hole.
+
+Contexts are represented by their hole path: the sequence of child
+indices (in :meth:`Expr.children` order) from the root to the redex.
+Uniqueness of decomposition is property-tested in
+``tests/semantics/test_contexts.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.lang.ast import (
+    Annot,
+    App,
+    Case,
+    Expr,
+    Inl,
+    Inr,
+    If,
+    IfAt,
+    Let,
+    Pair,
+    ParVec,
+    Tuple as TupleE,
+    is_value_syntax,
+)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The unique split of a non-value expression into context and redex."""
+
+    path: Tuple[int, ...]
+    redex: Expr
+    local: bool  # True when the hole is inside a parallel vector (Gamma_l)
+
+
+def evaluation_positions(expr: Expr) -> Tuple[int, ...]:
+    """Child indices that must be values before ``expr`` can head-reduce,
+    in evaluation (left-to-right, call-by-value) order — Figure 5."""
+    if isinstance(expr, App):
+        return (0, 1)
+    if isinstance(expr, Let):
+        return (0,)
+    if isinstance(expr, Pair):
+        return (0, 1)
+    if isinstance(expr, TupleE):
+        return tuple(range(len(expr.items)))
+    if isinstance(expr, If):
+        return (0,)
+    if isinstance(expr, (Inl, Inr)):
+        return (0,)
+    if isinstance(expr, Case):
+        return (0,)
+    if isinstance(expr, IfAt):
+        return (0, 1)
+    if isinstance(expr, ParVec):
+        return tuple(range(len(expr.items)))
+    return ()
+
+
+def decompose(expr: Expr) -> Optional[Decomposition]:
+    """Find the unique redex position, or None when ``expr`` is a value or
+    irreparably stuck above the first non-value position."""
+    return _decompose(expr, (), False)
+
+
+def _decompose(
+    expr: Expr, path: Tuple[int, ...], local: bool
+) -> Optional[Decomposition]:
+    if is_value_syntax(expr):
+        return None
+    children = expr.children()
+    for index in evaluation_positions(expr):
+        child = children[index]
+        if not is_value_syntax(child):
+            return _decompose(
+                child, path + (index,), local or isinstance(expr, ParVec)
+            )
+    return Decomposition(path, expr, local)
+
+
+def plug(expr: Expr, path: Tuple[int, ...], replacement: Expr) -> Expr:
+    """Rebuild ``expr`` with ``replacement`` at the hole ``path``."""
+    if not path:
+        return replacement
+    index, rest = path[0], path[1:]
+    children = expr.children()
+    new_child = plug(children[index], rest, replacement)
+    return replace_child(expr, index, new_child)
+
+
+def replace_child(expr: Expr, index: int, new_child: Expr) -> Expr:
+    """A copy of ``expr`` with child number ``index`` replaced."""
+    if isinstance(expr, App):
+        return App(new_child, expr.arg) if index == 0 else App(expr.fn, new_child)
+    if isinstance(expr, Let):
+        if index == 0:
+            return Let(expr.name, new_child, expr.body)
+        return Let(expr.name, expr.bound, new_child)
+    if isinstance(expr, Pair):
+        if index == 0:
+            return Pair(new_child, expr.second)
+        return Pair(expr.first, new_child)
+    if isinstance(expr, TupleE):
+        items = list(expr.items)
+        items[index] = new_child
+        return TupleE(tuple(items))
+    if isinstance(expr, If):
+        parts = [expr.cond, expr.then_branch, expr.else_branch]
+        parts[index] = new_child
+        return If(*parts)
+    if isinstance(expr, IfAt):
+        parts = [expr.vec, expr.proc, expr.then_branch, expr.else_branch]
+        parts[index] = new_child
+        return IfAt(*parts)
+    if isinstance(expr, ParVec):
+        items = list(expr.items)
+        items[index] = new_child
+        return ParVec(tuple(items))
+    if isinstance(expr, Annot):
+        return Annot(new_child, expr.annotation)
+    if isinstance(expr, Inl):
+        return Inl(new_child)
+    if isinstance(expr, Inr):
+        return Inr(new_child)
+    if isinstance(expr, Case):
+        if index == 0:
+            return Case(
+                new_child,
+                expr.left_name,
+                expr.left_body,
+                expr.right_name,
+                expr.right_body,
+            )
+        if index == 1:
+            return Case(
+                expr.scrutinee,
+                expr.left_name,
+                new_child,
+                expr.right_name,
+                expr.right_body,
+            )
+        return Case(
+            expr.scrutinee,
+            expr.left_name,
+            expr.left_body,
+            expr.right_name,
+            new_child,
+        )
+    raise TypeError(
+        f"replace_child: {type(expr).__name__} has no child {index}"
+    )

@@ -1,0 +1,62 @@
+"""Costed execution: run a mini-BSML program and get its BSP cost.
+
+This glues the big-step evaluator to the BSP machine simulator: the
+returned :class:`CostedResult` carries the value, the superstep-by-
+superstep :class:`~repro.bsp.cost.BspCost`, and the totals under the given
+:class:`~repro.bsp.params.BspParams` — everything the cost-model
+experiments (formula (1) and the broadcast ablation) measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.bsp.cost import BspCost
+from repro.bsp.machine import BspMachine
+from repro.bsp.params import BspParams
+from repro.lang.ast import Expr
+from repro.lang.parser import parse_program
+from repro.lang.prelude import with_prelude
+from repro.semantics.bigstep import Evaluator
+from repro.semantics.values import Value, to_python
+
+
+@dataclass
+class CostedResult:
+    """A value together with the BSP cost of computing it."""
+
+    value: Value
+    cost: BspCost
+    params: BspParams
+
+    @property
+    def total_time(self) -> float:
+        return self.cost.total(self.params)
+
+    @property
+    def python_value(self):
+        return to_python(self.value)
+
+    def render(self) -> str:
+        return self.cost.render(self.params)
+
+
+def run_costed(
+    expr: Expr,
+    params: BspParams,
+    use_prelude: bool = False,
+) -> CostedResult:
+    """Evaluate ``expr`` at size ``params.p`` with full cost accounting."""
+    machine = BspMachine(params)
+    program = with_prelude(expr) if use_prelude else expr
+    value = Evaluator(params.p, machine).eval(program)
+    return CostedResult(value, machine.cost(), params)
+
+
+def run_source(
+    source: str,
+    params: BspParams,
+    use_prelude: bool = True,
+    filename: str = "<input>",
+) -> CostedResult:
+    """Parse a program (definitions + final expression) and run it costed."""
+    return run_costed(parse_program(source, filename), params, use_prelude)

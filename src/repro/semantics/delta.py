@@ -1,0 +1,100 @@
+"""Local delta-rules (Figure 1) as rewrites on the AST.
+
+Each function takes a fully-evaluated redex ``App(Prim(op), value)`` and
+returns the reduct, or None when no delta-rule applies (the redex is
+stuck, or it is the irreducible value ``nc ()``).
+
+Covered rules::
+
+    +(n1, n2)                      ->  n            (and -, *, /, mod,
+                                                     comparisons, && ,||)
+    fst (v1, v2)                   ->  v1
+    snd (v1, v2)                   ->  v2
+    fix (fun x -> e)               ->  e[x <- fix (fun x -> e)]
+    isnc v                         ->  false        (v /= nc ())
+    isnc (nc ())                   ->  true
+    not b                          ->  negation
+    nproc                          ->  p            (the machine size)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Expr,
+    Fun,
+    Pair,
+    Prim,
+    is_nc_value,
+    is_value_syntax,
+)
+from repro.lang.substitution import substitute
+from repro.semantics.primops import BINARY_SCALAR, BOOLEAN, COMPARISON
+
+#: Names with a local delta-rule (plus ``nproc``, handled separately).
+LOCAL_DELTA_PRIMS = frozenset(BINARY_SCALAR) | frozenset(
+    ("fst", "snd", "fix", "isnc", "not")
+)
+
+
+def _int_pair(arg: Expr) -> Optional[tuple]:
+    if (
+        isinstance(arg, Pair)
+        and isinstance(arg.first, Const)
+        and isinstance(arg.second, Const)
+        and isinstance(arg.first.value, int)
+        and not isinstance(arg.first.value, bool)
+        and isinstance(arg.second.value, int)
+        and not isinstance(arg.second.value, bool)
+    ):
+        return arg.first.value, arg.second.value
+    return None
+
+
+def _bool_pair(arg: Expr) -> Optional[tuple]:
+    if (
+        isinstance(arg, Pair)
+        and isinstance(arg.first, Const)
+        and isinstance(arg.second, Const)
+        and isinstance(arg.first.value, bool)
+        and isinstance(arg.second.value, bool)
+    ):
+        return arg.first.value, arg.second.value
+    return None
+
+
+def delta_local(op: str, arg: Expr) -> Optional[Expr]:
+    """Apply the local delta-rule for ``op`` to the value ``arg``."""
+    if op in BOOLEAN:
+        booleans = _bool_pair(arg)
+        return Const(BOOLEAN[op](*booleans)) if booleans is not None else None
+    if op in COMPARISON:
+        integers = _int_pair(arg)
+        return Const(COMPARISON[op](*integers)) if integers is not None else None
+    if op in BINARY_SCALAR:  # arithmetic
+        integers = _int_pair(arg)
+        return Const(BINARY_SCALAR[op](*integers)) if integers is not None else None
+    if op == "not":
+        if isinstance(arg, Const) and isinstance(arg.value, bool):
+            return Const(not arg.value)
+        return None
+    if op == "fst":
+        if isinstance(arg, Pair) and is_value_syntax(arg):
+            return arg.first
+        return None
+    if op == "snd":
+        if isinstance(arg, Pair) and is_value_syntax(arg):
+            return arg.second
+        return None
+    if op == "fix":
+        if isinstance(arg, Fun):
+            return substitute(arg.body, arg.param, App(Prim("fix"), arg))
+        return None
+    if op == "isnc":
+        if not is_value_syntax(arg):
+            return None
+        return Const(is_nc_value(arg))
+    return None

@@ -1,0 +1,134 @@
+"""Global (parallel) delta-rules (Figure 2) as rewrites on the AST.
+
+These rules mention the machine size ``p``: there is one dynamic semantics
+per value of ``p``, as the paper notes.
+
+* ``mkpar v``              -> ``< v applied at 0, ..., v applied at p-1 >``
+  (when ``v`` is ``fun x -> e`` the application is the substitution
+  ``e[x <- i]`` exactly as in the figure; other functional values — a
+  primitive, a partially applied closure — step to an application node
+  that keeps reducing inside the component)
+* ``apply (<f0,...>, <v0,...>)`` -> ``< f0 v0, ..., f_{p-1} v_{p-1} >``
+* ``put <g0, ..., g_{p-1}>``     -> componentwise let-chains that evaluate
+  every message ``g_j i`` and rebuild the delivered-messages function
+  ``fun x -> if x = 0 then v0 else ... else nc ()`` (Figure 2 verbatim,
+  including the freshness side condition on the ``v_j`` names)
+* ``if <..,b_n,..> at n then e1 else e2`` -> ``e1`` or ``e2`` by ``b_n``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import (
+    NC,
+    App,
+    Const,
+    Expr,
+    Fun,
+    If,
+    IfAt,
+    Let,
+    Pair,
+    ParVec,
+    Prim,
+    Var,
+    is_value_syntax,
+)
+from repro.lang.substitution import free_vars, fresh_name, substitute
+
+#: Prefix used for the ``put`` rule's fresh message names.
+_MSG_PREFIX = "msg"
+
+
+def _apply_value(fn: Expr, arg: Expr) -> Expr:
+    """Build the component expression for applying a functional value.
+
+    For a lambda this is the beta substitution of Figure 2; for any other
+    functional value (primitive, partial application) it is an application
+    node, which the contextual rules keep reducing inside the component.
+    """
+    if isinstance(fn, Fun):
+        return substitute(fn.body, fn.param, arg)
+    return App(fn, arg)
+
+
+def delta_mkpar(arg: Expr, p: int) -> Optional[Expr]:
+    """``mkpar v -> < v 0, ..., v (p-1) >``."""
+    if not is_value_syntax(arg) or isinstance(arg, ParVec):
+        return None
+    return ParVec(tuple(_apply_value(arg, Const(i)) for i in range(p)))
+
+
+def delta_apply(arg: Expr, p: int) -> Optional[Expr]:
+    """``apply (<f_i>, <v_i>) -> < f_i v_i >`` (argument is a pair)."""
+    if not (
+        isinstance(arg, Pair)
+        and isinstance(arg.first, ParVec)
+        and isinstance(arg.second, ParVec)
+    ):
+        return None
+    fns, args = arg.first, arg.second
+    if fns.width != p or args.width != p:
+        return None
+    if not (is_value_syntax(fns) and is_value_syntax(args)):
+        return None
+    return ParVec(
+        tuple(_apply_value(fn, value) for fn, value in zip(fns.items, args.items))
+    )
+
+
+def delta_put(arg: Expr, p: int) -> Optional[Expr]:
+    """The ``put`` rule of Figure 2.
+
+    For every destination ``i`` the reduct's component is::
+
+        let msg_0 = g_0 i in ... let msg_{p-1} = g_{p-1} i in
+        fun x -> if x = 0 then msg_0 else ... else nc ()
+
+    with ``msg_j`` fresh for the free variables of every ``g_j`` (the
+    figure's side condition ``v_j^i not in F(e_j)``).
+    """
+    if not (isinstance(arg, ParVec) and arg.width == p and is_value_syntax(arg)):
+        return None
+    avoid = set()
+    for sender in arg.items:
+        avoid |= free_vars(sender)
+    names = []
+    for j in range(p):
+        name = fresh_name(avoid, f"{_MSG_PREFIX}{j}")
+        avoid.add(name)
+        names.append(name)
+    components = []
+    for i in range(p):
+        body: Expr = _delivered_function(names, p)
+        for j in reversed(range(p)):
+            body = Let(names[j], _apply_value(arg.items[j], Const(i)), body)
+        components.append(body)
+    return ParVec(tuple(components))
+
+
+def _delivered_function(names: list, p: int) -> Expr:
+    """``fun x -> if x = 0 then msg_0 else ... else nc ()``."""
+    result: Expr = NC
+    for j in reversed(range(p)):
+        condition = App(Prim("="), Pair(Var("x"), Const(j)))
+        result = If(condition, Var(names[j]), result)
+    return Fun("x", result)
+
+
+def delta_ifat(expr: IfAt, p: int) -> Optional[Expr]:
+    """``if <.., b_n, ..> at n then e1 else e2 -> e1 | e2``."""
+    if not (isinstance(expr.vec, ParVec) and expr.vec.width == p):
+        return None
+    if not isinstance(expr.proc, Const) or isinstance(expr.proc.value, bool):
+        return None
+    if not isinstance(expr.proc.value, int):
+        return None
+    n = expr.proc.value
+    if not 0 <= n < p:
+        return None
+    chosen = expr.vec.items[n]
+    if not (isinstance(chosen, Const) and isinstance(chosen.value, bool)):
+        return None
+    return expr.then_branch if chosen.value else expr.else_branch

@@ -1,0 +1,75 @@
+"""Evaluation errors raised by the dynamic semantics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import Expr
+from repro.lang.errors import ReproError
+
+
+class EvalError(ReproError):
+    """Base class of all evaluation failures."""
+
+
+class StuckError(EvalError):
+    """An expression in normal form that is not a value.
+
+    By Theorem 1 (typing safety) this never happens to a well-typed
+    program; ``diagnosis`` explains what went wrong for ill-typed ones
+    (the interesting case being dynamic parallel-vector nesting).
+    """
+
+    def __init__(self, expr: Expr, diagnosis: str = "") -> None:
+        self.expr = expr
+        self.diagnosis = diagnosis
+        message = "evaluation is stuck"
+        if diagnosis:
+            message += f": {diagnosis}"
+        super().__init__(message)
+
+
+class DynamicNestingError(EvalError):
+    """A parallel primitive showed up inside a parallel-vector component.
+
+    This is the runtime shadow of the static :class:`NestingError` — the
+    behaviour the paper's type system exists to prevent (section 2.1: the
+    cost model stops being compositional, and mismatched barriers make the
+    machine's behaviour unpredictable).
+    """
+
+    def __init__(self, expr: Expr, proc: Optional[int] = None) -> None:
+        self.expr = expr
+        self.proc = proc
+        where = f" at process {proc}" if proc is not None else ""
+        super().__init__(
+            f"parallel operation inside a parallel vector component{where}"
+        )
+
+
+class ReplicaDivergenceError(EvalError):
+    """A replicated reference was read globally after diverging.
+
+    The section 6 scenario: a reference created in replicated (global)
+    context exists once per process; assigning it inside a parallel
+    vector component desynchronizes the replicas, and a later *global*
+    dereference would yield a different value on every process — the
+    behaviour the paper's planned effect typing is meant to exclude.
+    This reproduction detects it dynamically.
+    """
+
+
+class RefContextError(EvalError):
+    """A reference used outside the process context that created it."""
+
+
+class DivisionByZeroError(EvalError):
+    """Integer division or modulo by zero."""
+
+
+class StepLimitExceeded(EvalError):
+    """The small-step machine hit its fuel limit (probable divergence)."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(f"no value after {limit} reduction steps")

@@ -1,0 +1,84 @@
+"""Shared meaning of the scalar primitive operators.
+
+Both evaluators (the AST-rewriting small-step machine and the
+environment-based big-step evaluator) delegate the arithmetic, comparison
+and boolean delta-rules to these tables so the two semantics cannot drift
+apart on scalar behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.semantics.errors import DivisionByZeroError
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise DivisionByZeroError("division by zero")
+    # OCaml semantics: truncation toward zero.
+    return int(a / b)
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise DivisionByZeroError("modulo by zero")
+    # OCaml: a mod b has the sign of a and |a mod b| < |b|.
+    return a - b * int(a / b)
+
+
+#: (int * int) -> int operators.
+ARITHMETIC: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _div,
+    "mod": _mod,
+}
+
+#: (int * int) -> bool operators.
+COMPARISON: Dict[str, Callable[[int, int], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: (bool * bool) -> bool operators.
+BOOLEAN: Dict[str, Callable[[bool, bool], bool]] = {
+    "&&": lambda a, b: a and b,
+    "||": lambda a, b: a or b,
+}
+
+#: All binary scalar operators (their arguments arrive as a pair).
+BINARY_SCALAR = {**ARITHMETIC, **COMPARISON, **BOOLEAN}
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def apply_binary(name: str, left, right):
+    """Apply a binary scalar operator with dynamic kind checks.
+
+    Mirrors the partiality of the delta-rules: an integer operator on a
+    boolean (or vice versa) has no rule — here that raises
+    :class:`~repro.semantics.errors.EvalError` instead of getting Python's
+    bool-int coercion.
+    """
+    from repro.semantics.errors import EvalError
+
+    if name in BOOLEAN:
+        if not (isinstance(left, bool) and isinstance(right, bool)):
+            raise EvalError(f"operator {name!r} expects booleans")
+        return BOOLEAN[name](left, right)
+    if name in ARITHMETIC or name in COMPARISON:
+        if not (_is_int(left) and _is_int(right)):
+            raise EvalError(f"operator {name!r} expects integers")
+        return BINARY_SCALAR[name](left, right)
+    raise EvalError(f"unknown binary operator {name!r}")
+
+#: The four parallel primitives of the paper.
+PARALLEL_PRIMS = frozenset(("mkpar", "apply", "put"))

@@ -1,0 +1,214 @@
+"""The small-step dynamic semantics of mini-BSML (section 3).
+
+``step`` performs one reduction ``e -> e'``: it decomposes the expression
+into an evaluation context and a redex (Figure 5), fires the appropriate
+head rule — beta / let (the epsilon rules), a local delta-rule (Figure 1)
+or a parallel delta-rule (Figure 2, only in a *global* hole) — and plugs
+the reduct back.
+
+``evaluate`` is the transitive closure ``e ->* v``.  It raises
+:class:`StuckError` when a normal form is not a value — which Theorem 1
+guarantees never happens for well-typed programs — with a diagnosis that
+singles out the paper's motivating failure: a parallel primitive trying to
+fire inside a parallel-vector component (dynamic nesting, the ``example2``
+scenario).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.lang.ast import (
+    Annot,
+    App,
+    Case,
+    Const,
+    Inl,
+    Inr,
+    Expr,
+    Fun,
+    If,
+    IfAt,
+    Let,
+    Prim,
+    Var,
+    is_value_syntax,
+)
+from repro.lang.pretty import pretty
+from repro.lang.substitution import substitute
+from repro.semantics.contexts import decompose, plug
+from repro.semantics.delta import LOCAL_DELTA_PRIMS, delta_local
+from repro.semantics.delta_parallel import (
+    delta_apply,
+    delta_ifat,
+    delta_mkpar,
+    delta_put,
+)
+from repro.semantics.errors import StepLimitExceeded, StuckError
+from repro.semantics.primops import PARALLEL_PRIMS
+
+#: Default fuel for :func:`evaluate`.
+DEFAULT_MAX_STEPS = 1_000_000
+
+
+def head_reduce(redex: Expr, p: int, local: bool) -> Optional[Expr]:
+    """Fire the head rule for ``redex``, or return None if none applies.
+
+    ``local`` marks a hole inside a parallel vector: there the global
+    reduction relation is unavailable, so parallel delta-rules and the
+    global conditional never fire (the paper's Gamma_l vs Gamma split).
+    """
+    if isinstance(redex, App):
+        fn, arg = redex.fn, redex.arg
+        if isinstance(fn, Fun):
+            return substitute(fn.body, fn.param, arg)
+        if isinstance(fn, Prim):
+            if fn.name in LOCAL_DELTA_PRIMS:
+                return delta_local(fn.name, arg)
+            if fn.name in PARALLEL_PRIMS:
+                if local:
+                    return None  # dynamic nesting: no rule in Gamma_l
+                if fn.name == "mkpar":
+                    return delta_mkpar(arg, p)
+                if fn.name == "apply":
+                    return delta_apply(arg, p)
+                return delta_put(arg, p)
+        return None
+    if isinstance(redex, Let):
+        if is_value_syntax(redex.bound):
+            return substitute(redex.body, redex.name, redex.bound)
+        return None
+    if isinstance(redex, If):
+        if isinstance(redex.cond, Const) and isinstance(redex.cond.value, bool):
+            return redex.then_branch if redex.cond.value else redex.else_branch
+        return None
+    if isinstance(redex, Case):
+        scrutinee = redex.scrutinee
+        if isinstance(scrutinee, Inl) and is_value_syntax(scrutinee):
+            return substitute(redex.left_body, redex.left_name, scrutinee.value)
+        if isinstance(scrutinee, Inr) and is_value_syntax(scrutinee):
+            return substitute(redex.right_body, redex.right_name, scrutinee.value)
+        return None
+    if isinstance(redex, IfAt):
+        return None if local else delta_ifat(redex, p)
+    if isinstance(redex, Prim) and redex.name == "nproc":
+        return Const(p)
+    if isinstance(redex, Annot):
+        return redex.expr  # annotations erase operationally
+    return None
+
+
+def step(expr: Expr, p: int) -> Optional[Expr]:
+    """One step of ``->`` (at machine size ``p``), or None in normal form."""
+    decomposition = decompose(expr)
+    if decomposition is None:
+        return None
+    reduct = head_reduce(decomposition.redex, p, decomposition.local)
+    if reduct is None:
+        return None
+    return plug(expr, decomposition.path, reduct)
+
+
+def trace(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> Iterator[Expr]:
+    """Yield the whole reduction sequence ``e -> e1 -> ... `` including
+    ``expr`` itself, stopping at the first normal form."""
+    yield expr
+    for _ in range(max_steps):
+        reduced = step(expr, p)
+        if reduced is None:
+            return
+        expr = reduced
+        yield expr
+    raise StepLimitExceeded(max_steps)
+
+
+def evaluate(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> Expr:
+    """Reduce ``expr`` to a value, raising :class:`StuckError` on a
+    non-value normal form and :class:`StepLimitExceeded` on fuel burnout."""
+    current = expr
+    for _ in range(max_steps):
+        reduced = step(current, p)
+        if reduced is None:
+            if is_value_syntax(current):
+                return current
+            raise StuckError(current, diagnose(current, p))
+        current = reduced
+    raise StepLimitExceeded(max_steps)
+
+
+def step_count(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> int:
+    """Number of reduction steps to reach the normal form."""
+    count = 0
+    for _ in trace(expr, p, max_steps):
+        count += 1
+    return count - 1
+
+
+def diagnose(expr: Expr, p: int) -> str:
+    """Explain why a normal-form non-value is stuck."""
+    decomposition = decompose(expr)
+    if decomposition is None:
+        # Stuck below: some child is a non-value with no redex.
+        culprit = _first_stuck_leaf(expr)
+        return _describe(culprit, p, local=False) if culprit else "not a value"
+    return _describe(decomposition.redex, p, decomposition.local)
+
+
+def _first_stuck_leaf(expr: Expr) -> Optional[Expr]:
+    from repro.semantics.contexts import evaluation_positions
+
+    children = expr.children()
+    for index in evaluation_positions(expr):
+        child = children[index]
+        if not is_value_syntax(child):
+            deeper = _first_stuck_leaf(child)
+            return deeper if deeper is not None else child
+    return None
+
+
+def _describe(redex: Expr, p: int, local: bool) -> str:
+    if isinstance(redex, Var):
+        return f"free variable {redex.name!r}"
+    if local and isinstance(redex, IfAt):
+        return (
+            "dynamic nesting: the global conditional 'if ... at ...' occurs "
+            "inside a parallel vector component"
+        )
+    if local and isinstance(redex, App) and isinstance(redex.fn, Prim):
+        if redex.fn.name in PARALLEL_PRIMS:
+            return (
+                f"dynamic nesting: parallel primitive {redex.fn.name!r} "
+                "inside a parallel vector component — this is what the "
+                "type system's locality constraints reject statically"
+            )
+    if isinstance(redex, App) and isinstance(redex.fn, Prim):
+        if redex.fn.name in ("ref", "!", ":="):
+            return (
+                f"imperative primitive {redex.fn.name!r}: the store-based "
+                "semantics lives in the big-step evaluator "
+                "(repro.semantics.bigstep); the faithful small-step machine "
+                "covers the pure fragment, which is the one the paper "
+                "proves safe"
+            )
+    if isinstance(redex, App):
+        return f"cannot apply {pretty(redex.fn)} to {pretty(redex.arg)}"
+    if isinstance(redex, If):
+        return f"conditional on a non-boolean: {pretty(redex.cond)}"
+    if isinstance(redex, IfAt):
+        return (
+            "global conditional with an unevaluable vector or an "
+            f"out-of-range process index (p = {p})"
+        )
+    return f"no reduction rule for {pretty(redex)}"
+
+
+def is_dynamic_nesting(expr: Expr, p: int) -> bool:
+    """True when ``expr``'s normal form is stuck because a parallel
+    operation appears inside a vector component."""
+    try:
+        evaluate(expr, p)
+        return False
+    except StuckError as error:
+        return "dynamic nesting" in error.diagnosis
+    except Exception:
+        return False

@@ -1,0 +1,21 @@
+"""Test support: type-directed random program generation."""
+
+from repro.testing.generators import (
+    CORPUS_GLOBAL,
+    CORPUS_IMPERATIVE,
+    CORPUS_LOCAL,
+    CORPUS_REJECTED,
+    ProgramGenerator,
+    unsafe_corpus,
+    well_typed_corpus,
+)
+
+__all__ = [
+    "CORPUS_GLOBAL",
+    "CORPUS_IMPERATIVE",
+    "CORPUS_LOCAL",
+    "CORPUS_REJECTED",
+    "ProgramGenerator",
+    "unsafe_corpus",
+    "well_typed_corpus",
+]

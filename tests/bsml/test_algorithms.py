@@ -1,0 +1,225 @@
+"""Tests for the BSP algorithms built on the Python BSMLlib."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bsp.params import BspParams
+from repro.bsml.algorithms import (
+    block_distribute,
+    collect,
+    inner_product,
+    matrix_vector,
+    prefix_sums,
+    sample_sort,
+)
+from repro.bsml.primitives import Bsml
+
+
+@pytest.fixture
+def ctx():
+    return Bsml(BspParams(p=4, g=2.0, l=50.0))
+
+
+class TestBlockDistribution:
+    def test_even_split(self, ctx):
+        blocks = block_distribute(ctx, list(range(8)))
+        assert blocks.to_list() == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_uneven_split_covers_everything(self, ctx):
+        data = list(range(10))
+        blocks = block_distribute(ctx, data)
+        assert collect(blocks) == data
+
+    def test_fewer_items_than_processes(self, ctx):
+        blocks = block_distribute(ctx, [1, 2])
+        assert collect(blocks) == [1, 2]
+        assert any(block == [] for block in blocks)
+
+
+class TestPrefixSums:
+    def test_small(self, ctx):
+        blocks = block_distribute(ctx, [1, 2, 3, 4, 5])
+        result = prefix_sums(ctx, blocks)
+        assert collect(result) == [1, 3, 6, 10, 15]
+
+    def test_against_sequential(self, ctx):
+        rng = random.Random(7)
+        data = [rng.randrange(-50, 50) for _ in range(37)]
+        expected, total = [], 0
+        for value in data:
+            total += value
+            expected.append(total)
+        result = prefix_sums(ctx, block_distribute(ctx, data))
+        assert collect(result) == expected
+
+    def test_uses_log_supersteps(self, ctx):
+        blocks = block_distribute(ctx, list(range(16)))
+        ctx.reset_cost()
+        prefix_sums(ctx, blocks)
+        assert ctx.cost().S == 2  # log2(4) scan rounds
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("n", [0, 1, 10, 100, 500])
+    def test_sorts(self, ctx, n):
+        rng = random.Random(n)
+        data = [rng.randrange(10_000) for _ in range(n)]
+        result = sample_sort(ctx, block_distribute(ctx, data))
+        assert collect(result) == sorted(data)
+
+    def test_with_duplicates(self, ctx):
+        data = [5, 1, 5, 5, 2, 5, 1] * 10
+        result = sample_sort(ctx, block_distribute(ctx, data))
+        assert collect(result) == sorted(data)
+
+    def test_already_sorted(self, ctx):
+        data = list(range(64))
+        result = sample_sort(ctx, block_distribute(ctx, data))
+        assert collect(result) == data
+
+    def test_two_communication_supersteps(self, ctx):
+        blocks = block_distribute(ctx, [3, 1, 4, 1, 5, 9, 2, 6])
+        ctx.reset_cost()
+        sample_sort(ctx, blocks)
+        assert ctx.cost().S == 2  # sample exchange + bucket all-to-all
+
+    def test_balanced_buckets_on_uniform_data(self):
+        ctx = Bsml(BspParams(p=4))
+        rng = random.Random(3)
+        data = [rng.random() for _ in range(2000)]
+        result = sample_sort(ctx, block_distribute(ctx, data))
+        sizes = [len(block) for block in result]
+        assert max(sizes) < 2.5 * (len(data) / ctx.p)
+
+    def test_single_process(self):
+        ctx = Bsml(BspParams(p=1))
+        data = [3, 1, 2]
+        result = sample_sort(ctx, block_distribute(ctx, data))
+        assert collect(result) == [1, 2, 3]
+
+
+class TestLinearAlgebra:
+    def test_matrix_vector(self, ctx):
+        matrix = [[1, 0], [0, 2], [3, 4], [1, 1]]
+        result = matrix_vector(ctx, matrix, [5, 6])
+        assert collect(result) == [5, 12, 39, 11]
+
+    def test_matrix_vector_identity(self, ctx):
+        n = 8
+        eye = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+        x = list(range(n))
+        assert collect(matrix_vector(ctx, eye, x)) == x
+
+    def test_matrix_vector_costs_one_broadcast(self, ctx):
+        matrix = [[1] * 4] * 8
+        ctx.reset_cost()
+        matrix_vector(ctx, matrix, [1, 1, 1, 1])
+        assert ctx.cost().S == 1  # the bcast of x
+
+    def test_inner_product(self, ctx):
+        left = block_distribute(ctx, [1, 2, 3, 4])
+        right = block_distribute(ctx, [10, 20, 30, 40])
+        result = inner_product(ctx, left, right)
+        assert result.to_list() == [300] * 4
+
+
+class TestHistogram:
+    def _ctx(self):
+        from repro.bsp.params import BspParams
+        from repro.bsml.primitives import Bsml
+
+        return Bsml(BspParams(p=4))
+
+    def test_uniform_data(self):
+        from repro.bsml.algorithms import histogram
+
+        ctx = self._ctx()
+        data = [0.1 * i for i in range(100)]  # 0.0 .. 9.9
+        result = histogram(ctx, block_distribute(ctx, data), 5, 0.0, 10.0)
+        assert result.to_list() == [[20, 20, 20, 20, 20]] * 4
+
+    def test_counts_total_matches_in_range_data(self):
+        import random as rnd
+
+        from repro.bsml.algorithms import histogram
+
+        ctx = self._ctx()
+        rng = rnd.Random(11)
+        data = [rng.uniform(-5, 15) for _ in range(500)]
+        counts = histogram(ctx, block_distribute(ctx, data), 7, 0.0, 10.0)[0]
+        expected = sum(1 for x in data if 0.0 <= x <= 10.0)
+        assert sum(counts) == expected
+
+    def test_upper_edge_goes_to_last_bin(self):
+        from repro.bsml.algorithms import histogram
+
+        ctx = self._ctx()
+        counts = histogram(ctx, block_distribute(ctx, [10.0]), 5, 0.0, 10.0)[0]
+        assert counts[-1] == 1
+
+    def test_one_superstep(self):
+        from repro.bsml.algorithms import histogram
+
+        ctx = self._ctx()
+        blocks = block_distribute(ctx, list(range(40)))
+        ctx.reset_cost()
+        histogram(ctx, blocks, 4, 0, 40)
+        assert ctx.cost().S == 1
+
+    def test_bad_bins(self):
+        from repro.bsml.algorithms import histogram
+
+        with pytest.raises(ValueError):
+            histogram(self._ctx(), block_distribute(self._ctx(), []), 0, 0, 1)
+
+
+class TestMatrixMultiply:
+    def _ctx(self):
+        from repro.bsp.params import BspParams
+        from repro.bsml.primitives import Bsml
+
+        return Bsml(BspParams(p=4))
+
+    def test_small(self):
+        from repro.bsml.algorithms import matrix_multiply
+
+        ctx = self._ctx()
+        C = collect(matrix_multiply(ctx, [[1, 2], [3, 4], [5, 6]], [[7, 8], [9, 10]]))
+        assert C == [[25, 28], [57, 64], [89, 100]]
+
+    def test_identity(self):
+        from repro.bsml.algorithms import matrix_multiply
+
+        ctx = self._ctx()
+        n = 6
+        eye = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+        A = [[i * n + j for j in range(n)] for i in range(n)]
+        assert collect(matrix_multiply(ctx, A, eye)) == A
+
+    def test_against_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        from repro.bsml.algorithms import matrix_multiply
+
+        ctx = self._ctx()
+        rng = numpy.random.default_rng(3)
+        A = rng.integers(-5, 5, size=(9, 4)).tolist()
+        B = rng.integers(-5, 5, size=(4, 7)).tolist()
+        C = collect(matrix_multiply(ctx, A, B))
+        assert (numpy.array(C) == numpy.array(A) @ numpy.array(B)).all()
+
+    def test_dimension_mismatch(self):
+        from repro.bsml.algorithms import matrix_multiply
+
+        with pytest.raises(ValueError, match="inner dimensions"):
+            matrix_multiply(self._ctx(), [[1, 2]], [[1, 2]])
+
+    def test_one_broadcast_superstep(self):
+        from repro.bsml.algorithms import matrix_multiply
+
+        ctx = self._ctx()
+        ctx.reset_cost()
+        matrix_multiply(ctx, [[1] * 3] * 6, [[1] * 2] * 3)
+        assert ctx.cost().S == 1

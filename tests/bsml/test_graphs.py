@@ -1,0 +1,181 @@
+"""Tests for the level-synchronous BSP graph algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bsp.params import BspParams
+from repro.bsml.algorithms import collect
+from repro.bsml.graphs import (
+    UNREACHED,
+    bfs,
+    connected_components,
+    distribute_graph,
+)
+from repro.bsml.primitives import Bsml
+
+
+@pytest.fixture
+def ctx():
+    return Bsml(BspParams(p=4, g=2.0, l=50.0))
+
+
+def sequential_bfs(n, edges, root, directed=False):
+    adjacency = [[] for _ in range(n)]
+    for u, v in edges:
+        adjacency[u].append(v)
+        if not directed:
+            adjacency[v].append(u)
+    levels = [UNREACHED] * n
+    levels[root] = 0
+    frontier = [root]
+    level = 0
+    while frontier:
+        level += 1
+        nxt = []
+        for u in frontier:
+            for v in adjacency[u]:
+                if levels[v] == UNREACHED:
+                    levels[v] = level
+                    nxt.append(v)
+        frontier = nxt
+    return levels
+
+
+class TestDistribute:
+    def test_undirected_symmetrizes(self, ctx):
+        graph = distribute_graph(ctx, 4, [(0, 3)])
+        blocks = graph.to_list()
+        assert blocks[0]["adjacency"][0] == [3]
+        assert blocks[3]["adjacency"][0] == [0]
+
+    def test_directed(self, ctx):
+        graph = distribute_graph(ctx, 4, [(0, 3)], directed=True)
+        assert graph.to_list()[3]["adjacency"][0] == []
+
+    def test_edge_validation(self, ctx):
+        with pytest.raises(ValueError, match="outside"):
+            distribute_graph(ctx, 3, [(0, 7)])
+
+
+class TestBfs:
+    def test_path_graph(self, ctx):
+        n = 8
+        edges = [(i, i + 1) for i in range(n - 1)]
+        graph = distribute_graph(ctx, n, edges)
+        levels = collect(bfs(ctx, n, graph, 0))
+        assert levels == list(range(n))
+
+    def test_star_graph(self, ctx):
+        n = 9
+        edges = [(0, i) for i in range(1, n)]
+        graph = distribute_graph(ctx, n, edges)
+        levels = collect(bfs(ctx, n, graph, 0))
+        assert levels == [0] + [1] * (n - 1)
+
+    def test_disconnected_vertices_unreached(self, ctx):
+        graph = distribute_graph(ctx, 6, [(0, 1), (2, 3)])
+        levels = collect(bfs(ctx, 6, graph, 0))
+        assert levels[0:2] == [0, 1]
+        assert levels[2:] == [UNREACHED] * 4
+
+    def test_root_in_any_block(self, ctx):
+        n = 8
+        edges = [(i, i + 1) for i in range(n - 1)]
+        graph = distribute_graph(ctx, n, edges)
+        levels = collect(bfs(ctx, n, graph, 5))
+        assert levels == [5, 4, 3, 2, 1, 0, 1, 2]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_against_sequential_on_random_graphs(self, ctx, seed):
+        rng = random.Random(seed)
+        n = 24
+        edges = [
+            (rng.randrange(n), rng.randrange(n)) for _ in range(40)
+        ]
+        edges = [(u, v) for u, v in edges if u != v]
+        graph = distribute_graph(ctx, n, edges)
+        root = rng.randrange(n)
+        assert collect(bfs(ctx, n, graph, root)) == sequential_bfs(n, edges, root)
+
+    def test_superstep_count_tracks_depth(self, ctx):
+        # A path of length 7: one (fold + put) round per BFS level, one
+        # trailing round where the last frontier finds nothing new, and a
+        # final fold that detects quiescence.
+        n = 8
+        edges = [(i, i + 1) for i in range(n - 1)]
+        graph = distribute_graph(ctx, n, edges)
+        ctx.reset_cost()
+        bfs(ctx, n, graph, 0)
+        depth = n - 1
+        rounds = depth + 1  # levels 1..7 plus the empty trailing round
+        assert ctx.cost().S == 2 * rounds + 1  # (fold+put) per round + final fold
+
+    def test_bad_root(self, ctx):
+        graph = distribute_graph(ctx, 4, [])
+        with pytest.raises(ValueError, match="root"):
+            bfs(ctx, 4, graph, 9)
+
+
+class TestConnectedComponents:
+    def _components(self, ctx, n, edges):
+        graph = distribute_graph(ctx, n, edges)
+        labels = collect(connected_components(ctx, n, graph))
+        # Normalize: map labels to canonical component ids.
+        return labels
+
+    def test_two_components(self, ctx):
+        labels = self._components(ctx, 6, [(0, 1), (1, 2), (3, 4)])
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_single_component_min_label(self, ctx):
+        labels = self._components(ctx, 5, [(i, i + 1) for i in range(4)])
+        assert labels == [0, 0, 0, 0, 0]
+
+    def test_isolated_vertices(self, ctx):
+        labels = self._components(ctx, 4, [])
+        assert labels == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_against_union_find(self, ctx, seed):
+        rng = random.Random(100 + seed)
+        n = 20
+        edges = [(rng.randrange(n), rng.randrange(n)) for _ in range(15)]
+        edges = [(u, v) for u, v in edges if u != v]
+
+        parent = list(range(n))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in edges:
+            parent[find(u)] = find(v)
+        expected_groups = {}
+        for v in range(n):
+            expected_groups.setdefault(find(v), []).append(v)
+
+        labels = self._components(ctx, n, edges)
+        actual_groups = {}
+        for v, label in enumerate(labels):
+            actual_groups.setdefault(label, []).append(v)
+        assert sorted(map(sorted, expected_groups.values())) == sorted(
+            map(sorted, actual_groups.values())
+        )
+
+    def test_rounds_bounded_by_diameter(self, ctx):
+        # A path: labels flow from vertex 0 down the line, one hop per
+        # round — O(n) rounds, each round = 1 fold + 1 put superstep.
+        n = 8
+        edges = [(i, i + 1) for i in range(n - 1)]
+        graph = distribute_graph(ctx, n, edges)
+        ctx.reset_cost()
+        connected_components(ctx, n, graph)
+        assert ctx.cost().S <= 2 * (n + 2)

@@ -1,0 +1,160 @@
+"""Tests for the Python BSMLlib primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.params import BspParams
+from repro.bsml.errors import ForeignVectorError, NestingViolation, VectorWidthError
+from repro.bsml.primitives import Bsml, ParVector
+
+
+@pytest.fixture
+def ctx():
+    return Bsml(BspParams(p=4, g=2.0, l=50.0))
+
+
+class TestMkpar:
+    def test_values_per_process(self, ctx):
+        assert ctx.mkpar(lambda i: i * i).to_list() == [0, 1, 4, 9]
+
+    def test_p(self, ctx):
+        assert ctx.p == 4
+
+    def test_mkpar_charges_local_work(self, ctx):
+        ctx.mkpar(lambda i: i)
+        assert ctx.cost().W == 1.0  # one op on each process, max = 1
+
+    def test_vector_protocol(self, ctx):
+        vector = ctx.mkpar(lambda i: i)
+        assert len(vector) == 4
+        assert vector[2] == 2
+        assert list(vector) == [0, 1, 2, 3]
+
+    def test_vectors_are_immutable_values(self, ctx):
+        left = ctx.mkpar(lambda i: i)
+        right = ctx.mkpar(lambda i: i)
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestApply:
+    def test_componentwise(self, ctx):
+        fns = ctx.mkpar(lambda i: (lambda x: x + i))
+        args = ctx.mkpar(lambda i: 100)
+        assert ctx.apply(fns, args).to_list() == [100, 101, 102, 103]
+
+    def test_no_barrier(self, ctx):
+        fns = ctx.mkpar(lambda i: (lambda x: x))
+        ctx.apply(fns, ctx.mkpar(lambda i: i))
+        assert ctx.cost().S == 0
+
+    def test_foreign_vector_rejected(self, ctx):
+        other = Bsml(BspParams(p=4))
+        vector = other.mkpar(lambda i: i)
+        with pytest.raises(ForeignVectorError):
+            ctx.apply(ctx.mkpar(lambda i: (lambda x: x)), vector)
+
+
+class TestPut:
+    def test_delivery(self, ctx):
+        senders = ctx.mkpar(lambda j: (lambda dst: j * 10 + dst))
+        delivered = ctx.put(senders)
+        # Process i receives from j the value j*10+i.
+        assert [f(1) for f in delivered] == [10 + i for i in range(4)]
+
+    def test_none_means_no_message(self, ctx):
+        senders = ctx.mkpar(lambda j: (lambda dst: j if j == 0 else None))
+        delivered = ctx.put(senders)
+        assert [f(0) for f in delivered] == [0, 0, 0, 0]
+        assert [f(1) for f in delivered] == [None] * 4
+
+    def test_out_of_range_source_is_none(self, ctx):
+        delivered = ctx.put(ctx.mkpar(lambda j: (lambda dst: j)))
+        assert delivered[0](99) is None
+        assert delivered[0](-1) is None
+
+    def test_put_is_one_superstep(self, ctx):
+        ctx.put(ctx.mkpar(lambda j: (lambda dst: j)))
+        cost = ctx.cost()
+        assert cost.S == 1
+        assert cost.H == 3  # everyone sends one word to 3 others
+
+    def test_none_messages_cost_nothing(self, ctx):
+        ctx.put(ctx.mkpar(lambda j: (lambda dst: None)))
+        assert ctx.cost().H == 0
+
+    def test_message_sizes_counted(self, ctx):
+        # Process 0 sends a 4-element list (4 + 1 framing words) to 1.
+        senders = ctx.mkpar(
+            lambda j: (lambda dst: [1, 2, 3, 4] if j == 0 and dst == 1 else None)
+        )
+        ctx.put(senders)
+        assert ctx.cost().H == 5
+
+
+class TestAt:
+    def test_reads_the_value_at_proc(self, ctx):
+        booleans = ctx.mkpar(lambda i: i == 2)
+        assert ctx.at(booleans, 2) is True
+        assert ctx.at(booleans, 1) is False
+
+    def test_costs_a_superstep(self, ctx):
+        ctx.at(ctx.mkpar(lambda i: True), 0)
+        cost = ctx.cost()
+        assert cost.S == 1
+        assert cost.H == ctx.p - 1
+
+    def test_index_validation(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.at(ctx.mkpar(lambda i: True), 9)
+
+    def test_type_validation(self, ctx):
+        with pytest.raises(TypeError):
+            ctx.at(ctx.mkpar(lambda i: i), 0)
+
+    def test_usable_in_global_if(self, ctx):
+        # The paper's intended idiom: if (at vec pid) then ... else ...
+        booleans = ctx.mkpar(lambda i: i < 2)
+        if ctx.at(booleans, 0):
+            result = ctx.mkpar(lambda i: "small")
+        else:  # pragma: no cover
+            result = ctx.mkpar(lambda i: "big")
+        assert result.to_list() == ["small"] * 4
+
+
+class TestNestingRejection:
+    def test_direct_nesting(self, ctx):
+        with pytest.raises(NestingViolation):
+            ctx.mkpar(lambda i: ctx.mkpar(lambda j: j))
+
+    def test_nesting_inside_container(self, ctx):
+        inner = ctx.mkpar(lambda i: i)
+        with pytest.raises(NestingViolation):
+            ctx.mkpar(lambda i: [1, inner])
+
+    def test_nesting_inside_dict(self, ctx):
+        inner = ctx.mkpar(lambda i: i)
+        with pytest.raises(NestingViolation):
+            ctx.mkpar(lambda i: {"v": inner})
+
+    def test_fourth_projection_equivalent(self, ctx):
+        # In Python the pair (1, vec) is fine; putting it INSIDE a vector
+        # is what gets rejected, mirroring the type system's verdict on
+        # mkpar contexts.
+        vec = ctx.mkpar(lambda i: i)
+        pair = (1, vec)  # legal: a global pair, like the type int * int par
+        with pytest.raises(NestingViolation):
+            ctx.mkpar(lambda i: pair)
+
+
+class TestVectorHelper:
+    def test_vector_builder(self, ctx):
+        assert ctx.vector([1, 2, 3, 4]).to_list() == [1, 2, 3, 4]
+
+    def test_wrong_width(self, ctx):
+        with pytest.raises(VectorWidthError):
+            ctx.vector([1, 2])
+
+    def test_repr(self, ctx):
+        assert repr(ctx.vector([1, 2, 3, 4])) == "<1, 2, 3, 4>"

@@ -1,0 +1,66 @@
+"""Tests for the Python-value word-size model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsml.sizes import words_of
+
+
+class TestScalars:
+    def test_none_is_no_message(self):
+        assert words_of(None) == 0
+
+    def test_numbers(self):
+        assert words_of(0) == 1
+        assert words_of(3.14) == 1
+        assert words_of(True) == 1
+
+    def test_strings(self):
+        assert words_of("") == 1
+        assert words_of("abcdefgh") == 1
+        assert words_of("abcdefghi") == 2  # 9 chars -> 2 words
+
+    def test_bytes(self):
+        assert words_of(b"12345678") == 1
+        assert words_of(b"123456789") == 2
+
+
+class TestContainers:
+    def test_list_framing_plus_elements(self):
+        assert words_of([1, 2, 3]) == 4
+
+    def test_empty_list(self):
+        assert words_of([]) == 1
+
+    def test_nested(self):
+        assert words_of([[1], [2, 3]]) == 1 + 2 + 3
+
+    def test_tuple_and_set(self):
+        assert words_of((1, 2)) == 3
+        assert words_of({1, 2}) == 3
+
+    def test_dict(self):
+        assert words_of({"k": 1}) == 1 + 1 + 1
+
+    def test_none_inside_container_is_free(self):
+        # None *inside* a payload contributes 0 but the message is sent.
+        assert words_of([None]) == 1
+
+
+class TestBuffers:
+    def test_numpy_arrays_by_nbytes(self):
+        numpy = pytest.importorskip("numpy")
+        array = numpy.zeros(16, dtype=numpy.float64)  # 128 bytes
+        assert words_of(array) == 16
+
+    def test_unknown_type_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError, match="word-size model"):
+            words_of(Weird())
+
+    def test_additivity(self):
+        a, b = [1, 2], ["xx", 3.5]
+        assert words_of([a, b]) == 1 + words_of(a) + words_of(b)

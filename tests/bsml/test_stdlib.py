@@ -1,0 +1,225 @@
+"""Tests for the derived BSML operations (Python stdlib)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.params import BspParams
+from repro.bsml.predictions import (
+    cost_bcast_direct,
+    cost_bcast_two_phase,
+    cost_scan_direct,
+    cost_scan_log,
+)
+from repro.bsml.primitives import Bsml
+from repro.bsml.stdlib import (
+    applyat,
+    bcast_direct,
+    bcast_two_phase,
+    fold,
+    gather_to,
+    parfun,
+    parfun2,
+    replicate,
+    scan,
+    scan_direct,
+    scatter_from,
+    shift,
+    totex,
+)
+
+
+@pytest.fixture
+def ctx():
+    return Bsml(BspParams(p=4, g=2.0, l=50.0))
+
+
+class TestMapping:
+    def test_replicate(self, ctx):
+        assert replicate(ctx, "x").to_list() == ["x"] * 4
+
+    def test_parfun(self, ctx):
+        doubled = parfun(ctx, lambda x: 2 * x, ctx.mkpar(lambda i: i))
+        assert doubled.to_list() == [0, 2, 4, 6]
+
+    def test_parfun2(self, ctx):
+        result = parfun2(
+            ctx, lambda a, b: a - b, ctx.mkpar(lambda i: 10), ctx.mkpar(lambda i: i)
+        )
+        assert result.to_list() == [10, 9, 8, 7]
+
+    def test_applyat(self, ctx):
+        result = applyat(ctx, 2, lambda x: -x, lambda x: x, ctx.mkpar(lambda i: i + 1))
+        assert result.to_list() == [1, 2, -3, 4]
+
+    def test_mapping_needs_no_communication(self, ctx):
+        parfun(ctx, lambda x: x, replicate(ctx, 1))
+        assert ctx.cost().S == 0
+
+
+class TestBroadcast:
+    def test_direct_value(self, ctx):
+        result = bcast_direct(ctx, 2, ctx.mkpar(lambda i: i * 11))
+        assert result.to_list() == [22] * 4
+
+    def test_direct_superstep_and_h(self, ctx):
+        ctx.mkpar(lambda i: i)  # build input first
+        ctx.reset_cost()
+        vector = ctx.vector([5, 0, 0, 0])
+        bcast_direct(ctx, 0, vector)
+        cost = ctx.cost()
+        assert cost.S == 1
+        assert cost.H == 3  # (p-1) * s with s = 1
+
+    def test_two_phase_value(self, ctx):
+        data = list(range(16))
+        vector = ctx.mkpar(lambda i: data if i == 1 else None)
+        result = bcast_two_phase(ctx, 1, vector)
+        assert result.to_list() == [data] * 4
+
+    def test_two_phase_uses_two_supersteps(self, ctx):
+        vector = ctx.mkpar(lambda i: list(range(16)) if i == 0 else None)
+        ctx.reset_cost()
+        bcast_two_phase(ctx, 0, vector)
+        assert ctx.cost().S == 2
+
+    def test_two_phase_moves_less_per_superstep(self, ctx):
+        data = list(range(64))
+        vector = ctx.mkpar(lambda i: data if i == 0 else None)
+        ctx.reset_cost()
+        bcast_two_phase(ctx, 0, vector)
+        two_phase_h = ctx.cost().H
+        ctx.reset_cost()
+        vector2 = ctx.mkpar(lambda i: data if i == 0 else None)
+        ctx.reset_cost()
+        bcast_direct(ctx, 0, vector2)
+        direct_h = ctx.cost().H
+        assert two_phase_h < direct_h
+
+
+class TestCommunicationPatterns:
+    def test_totex(self, ctx):
+        result = totex(ctx, ctx.mkpar(lambda i: i * 2))
+        assert result.to_list() == [[0, 2, 4, 6]] * 4
+
+    def test_shift(self, ctx):
+        assert shift(ctx, 1, ctx.mkpar(lambda i: i)).to_list() == [3, 0, 1, 2]
+
+    def test_shift_wraps(self, ctx):
+        assert shift(ctx, 5, ctx.mkpar(lambda i: i)).to_list() == [3, 0, 1, 2]
+
+    def test_shift_zero(self, ctx):
+        assert shift(ctx, 0, ctx.mkpar(lambda i: i)).to_list() == [0, 1, 2, 3]
+
+    def test_gather(self, ctx):
+        result = gather_to(ctx, 1, ctx.mkpar(lambda i: i * i))
+        assert result.to_list() == [None, [0, 1, 4, 9], None, None]
+
+    def test_scatter(self, ctx):
+        vector = ctx.mkpar(lambda i: list(range(8)) if i == 0 else None)
+        result = scatter_from(ctx, 0, vector)
+        assert result.to_list() == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_scatter_uneven(self, ctx):
+        vector = ctx.mkpar(lambda i: list(range(6)) if i == 0 else None)
+        result = scatter_from(ctx, 0, vector)
+        assert [len(block) for block in result] == [1, 2, 1, 2]
+        assert sum(result.to_list(), []) == list(range(6))
+
+
+class TestScanAndFold:
+    def test_scan(self, ctx):
+        result = scan(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: i + 1))
+        assert result.to_list() == [1, 3, 6, 10]
+
+    def test_scan_direct(self, ctx):
+        result = scan_direct(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: i + 1))
+        assert result.to_list() == [1, 3, 6, 10]
+
+    def test_scan_non_commutative(self, ctx):
+        # String concatenation is associative but not commutative: order
+        # of processes must be respected.
+        result = scan(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: str(i)))
+        assert result.to_list() == ["0", "01", "012", "0123"]
+
+    def test_scans_agree(self, ctx):
+        left = scan(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: i * 3))
+        right = scan_direct(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: i * 3))
+        assert left.to_list() == right.to_list()
+
+    def test_scan_superstep_counts(self):
+        for p, rounds in [(2, 1), (4, 2), (8, 3), (16, 4)]:
+            ctx = Bsml(BspParams(p=p))
+            vector = ctx.mkpar(lambda i: i)
+            ctx.reset_cost()
+            scan(ctx, lambda a, b: a + b, vector)
+            assert ctx.cost().S == rounds, p
+
+    def test_scan_direct_is_one_superstep(self, ctx):
+        vector = ctx.mkpar(lambda i: i)
+        ctx.reset_cost()
+        scan_direct(ctx, lambda a, b: a + b, vector)
+        assert ctx.cost().S == 1
+
+    def test_fold(self, ctx):
+        result = fold(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: i))
+        assert result.to_list() == [6, 6, 6, 6]
+
+    def test_fold_single_process(self):
+        ctx = Bsml(BspParams(p=1))
+        assert fold(ctx, lambda a, b: a + b, ctx.mkpar(lambda i: 7)).to_list() == [7]
+
+
+class TestPredictions:
+    def test_bcast_direct_prediction_is_exact(self):
+        for p in (2, 4, 8):
+            params = BspParams(p=p, g=3.0, l=77.0)
+            ctx = Bsml(params)
+            vector = ctx.mkpar(lambda i: 5 if i == 0 else None)
+            ctx.reset_cost()
+            bcast_direct(ctx, 0, vector)
+            measured = ctx.total_time()
+            assert measured == pytest.approx(cost_bcast_direct(params, 1)), p
+
+    def test_scan_log_prediction_is_exact(self):
+        for p in (2, 4, 8, 16):
+            params = BspParams(p=p, g=2.0, l=31.0)
+            ctx = Bsml(params)
+            vector = ctx.mkpar(lambda i: i)
+            ctx.reset_cost()
+            scan(ctx, lambda a, b: a + b, vector)
+            assert ctx.total_time() == pytest.approx(cost_scan_log(params, 1)), p
+
+    def test_two_phase_prediction_shape(self):
+        # Approximate (framing words ignored): within 20%.
+        params = BspParams(p=4, g=2.0, l=10.0)
+        ctx = Bsml(params)
+        data = list(range(128))
+        vector = ctx.mkpar(lambda i: data if i == 0 else None)
+        ctx.reset_cost()
+        bcast_two_phase(ctx, 0, vector)
+        predicted = cost_bcast_two_phase(params, len(data))
+        assert ctx.total_time() == pytest.approx(predicted, rel=0.2)
+
+
+class TestProj:
+    def test_inverse_of_mkpar(self, ctx):
+        from repro.bsml.stdlib import proj
+
+        lookup = proj(ctx, ctx.mkpar(lambda i: i * i))
+        assert [lookup(i) for i in range(ctx.p)] == [0, 1, 4, 9]
+
+    def test_costs_one_superstep(self, ctx):
+        from repro.bsml.stdlib import proj
+
+        vector = ctx.mkpar(lambda i: i)
+        ctx.reset_cost()
+        proj(ctx, vector)
+        assert ctx.cost().S == 1
+
+    def test_out_of_range(self, ctx):
+        from repro.bsml.stdlib import proj
+
+        lookup = proj(ctx, ctx.mkpar(lambda i: i))
+        with pytest.raises(IndexError):
+            lookup(99)

@@ -1,0 +1,86 @@
+"""Tests for the BSP cost objects (SuperstepCost / BspCost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.cost import BspCost, SuperstepCost
+from repro.bsp.network import HRelation, one_relation
+from repro.bsp.params import BspParams
+
+PARAMS = BspParams(p=4, g=2.0, l=10.0)
+
+
+def step(w=(1.0, 2.0, 3.0, 4.0), h_size=0, synchronized=True, label=""):
+    relation = one_relation(4, size=h_size) if h_size else None
+    return SuperstepCost(tuple(w), relation, synchronized, label)
+
+
+class TestSuperstepCost:
+    def test_w_max(self):
+        assert step().w_max == 4.0
+
+    def test_empty_work(self):
+        assert SuperstepCost(()).w_max == 0.0
+
+    def test_h_of_relationless_step(self):
+        assert step().h == 0
+
+    def test_h_of_relation(self):
+        assert step(h_size=3).h == 3
+
+    def test_time_synchronized(self):
+        assert step(h_size=3).time(PARAMS) == 4 + 6 + 10
+
+    def test_time_unsynchronized_ignores_l(self):
+        assert step(synchronized=False).time(PARAMS) == 4.0
+
+
+class TestBspCost:
+    def _cost(self):
+        return BspCost(
+            4,
+            [
+                step(w=(5, 0, 0, 0), h_size=2, label="first"),
+                step(w=(1, 1, 1, 1), h_size=0, label="second"),
+                step(w=(2, 2, 2, 2), synchronized=False, label="tail"),
+            ],
+        )
+
+    def test_W_sums_maxima(self):
+        assert self._cost().W == 5 + 1 + 2
+
+    def test_H_sums_arities(self):
+        assert self._cost().H == 2
+
+    def test_S_counts_barriers_only(self):
+        assert self._cost().S == 2
+
+    def test_total(self):
+        cost = self._cost()
+        assert cost.total(PARAMS) == 8 + 2 * 2.0 + 2 * 10.0
+
+    def test_decomposition(self):
+        assert self._cost().check_decomposition(PARAMS)
+
+    def test_render_lists_labels(self):
+        text = self._cost().render(PARAMS)
+        assert "first" in text and "tail" in text
+        assert "W =" in text
+
+    def test_render_without_params_omits_total(self):
+        text = self._cost().render()
+        assert "total" not in text
+
+
+class TestHRelationObject:
+    def test_per_process(self):
+        relation = HRelation((3, 0), (0, 3))
+        assert relation.per_process == (3, 3)
+        assert relation.h == 3
+
+    def test_total_words(self):
+        assert HRelation((3, 1), (1, 3)).total_words == 4
+
+    def test_p(self):
+        assert HRelation((0, 0, 0), (0, 0, 0)).p == 3

@@ -1,0 +1,133 @@
+"""Tests for the BSP machine: superstep accounting and mailboxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.cost import BspCost, SuperstepCost
+from repro.bsp.machine import BspMachine
+from repro.bsp.network import HRelation
+from repro.bsp.params import PREDEFINED, BspParams
+
+
+def machine(p=4, g=2.0, l=50.0):
+    return BspMachine(BspParams(p=p, g=g, l=l))
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BspParams(p=0)
+        with pytest.raises(ValueError):
+            BspParams(p=2, g=-1)
+
+    def test_superstep_time(self):
+        params = BspParams(p=2, g=3.0, l=7.0)
+        assert params.superstep_time(10, 4) == 10 + 12 + 7
+
+    def test_predefined_profiles(self):
+        assert set(PREDEFINED) == {"cluster", "slow-network", "shared-memory"}
+        for params in PREDEFINED.values():
+            assert params.p >= 1
+
+
+class TestWorkAccounting:
+    def test_local_work(self):
+        m = machine()
+        m.local(0, 5)
+        m.local(1, 3)
+        cost = m.cost()
+        assert cost.W == 5  # max over processes
+
+    def test_replicated_work_charges_everyone(self):
+        m = machine()
+        m.replicated(2)
+        m.local(1, 1)
+        assert m.cost().W == 3
+
+    def test_local_out_of_range(self):
+        with pytest.raises(ValueError):
+            machine(p=2).local(5)
+
+
+class TestSupersteps:
+    def test_exchange_closes_superstep(self):
+        m = machine(p=2)
+        m.local(0, 4)
+        m.exchange([[0, 3], [0, 0]], label="x")
+        cost = m.cost()
+        assert cost.S == 1
+        assert cost.H == 3
+        assert cost.W == 4
+
+    def test_work_after_exchange_is_new_superstep(self):
+        m = machine(p=2)
+        m.local(0, 1)
+        m.exchange([[0, 1], [0, 0]])
+        m.local(0, 7)
+        cost = m.cost()
+        assert len(cost.supersteps) == 2
+        assert not cost.supersteps[-1].synchronized
+        assert cost.W == 8
+
+    def test_barrier_costs_l_only(self):
+        m = machine(p=2)
+        m.barrier()
+        cost = m.cost()
+        assert cost.S == 1
+        assert cost.H == 0
+
+    def test_total_formula(self):
+        params = BspParams(p=2, g=2.0, l=10.0)
+        m = BspMachine(params)
+        m.replicated(3)
+        m.exchange([[0, 4], [0, 0]])
+        m.replicated(1)
+        cost = m.cost()
+        # W + H*g + S*l = (3+1) + 4*2 + 1*10
+        assert cost.total(params) == 4 + 8 + 10
+        assert cost.check_decomposition(params)
+
+    def test_reset(self):
+        m = machine()
+        m.replicated(5)
+        m.exchange([[0] * 4 for _ in range(4)])
+        m.reset()
+        assert m.cost().supersteps == []
+
+
+class TestMailboxes:
+    def test_payload_delivery(self):
+        m = machine(p=3)
+        m.exchange(
+            [[0, 1, 0], [0, 0, 1], [0, 0, 0]],
+            payloads={(0, 1): "hello", (1, 2): "world"},
+        )
+        assert m.receive(1, 0) == "hello"
+        assert m.receive(2, 1) == "world"
+        assert m.receive(0, 1) is None
+
+    def test_next_exchange_clears_mailboxes(self):
+        m = machine(p=2)
+        m.exchange([[0, 1], [0, 0]], payloads={(0, 1): 42})
+        m.exchange([[0, 0], [0, 0]])
+        assert m.receive(1, 0) is None
+
+
+class TestCostObjects:
+    def test_superstep_time_unsynchronized(self):
+        step = SuperstepCost(work=(3.0, 5.0), relation=None, synchronized=False)
+        assert step.time(BspParams(p=2, g=1, l=100)) == 5.0
+
+    def test_empty_cost(self):
+        cost = BspCost(p=2, supersteps=[])
+        assert cost.W == 0 and cost.H == 0 and cost.S == 0
+        assert cost.total(BspParams(p=2)) == 0
+
+    def test_render_contains_table(self):
+        m = machine(p=2)
+        m.local(0, 1)
+        m.exchange([[0, 1], [0, 0]], label="hello")
+        text = m.cost().render(m.params)
+        assert "hello" in text
+        assert "total" in text

@@ -1,0 +1,88 @@
+"""Tests for h-relation accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.network import (
+    HRelation,
+    h_relation_of_matrix,
+    h_relation_of_messages,
+    one_relation,
+)
+
+
+class TestMatrix:
+    def test_empty(self):
+        relation = h_relation_of_matrix([[0, 0], [0, 0]])
+        assert relation.h == 0
+        assert relation.total_words == 0
+
+    def test_single_message(self):
+        relation = h_relation_of_matrix([[0, 5], [0, 0]])
+        assert relation.sent_words == (5, 0)
+        assert relation.received_words == (0, 5)
+        assert relation.h == 5
+
+    def test_diagonal_is_free(self):
+        relation = h_relation_of_matrix([[9, 0], [0, 9]])
+        assert relation.h == 0
+
+    def test_h_is_max_of_in_and_out(self):
+        # Process 0 sends 3 and receives 1: h_0 = 3.
+        relation = h_relation_of_matrix([[0, 1, 1, 1], [1, 0, 0, 0],
+                                         [0, 0, 0, 0], [0, 0, 0, 0]])
+        assert relation.per_process[0] == 3
+        assert relation.h == 3
+
+    def test_receiver_bound(self):
+        # Everyone sends 1 word to process 0: h_0- = 3 dominates.
+        matrix = [[0] * 4 for _ in range(4)]
+        for sender in (1, 2, 3):
+            matrix[sender][0] = 1
+        relation = h_relation_of_matrix(matrix)
+        assert relation.h == 3
+
+    def test_total_exchange(self):
+        p = 4
+        matrix = [[1] * p for _ in range(p)]
+        relation = h_relation_of_matrix(matrix)
+        assert relation.h == p - 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            h_relation_of_matrix([[0, 1]])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            h_relation_of_matrix([[0, -1], [0, 0]])
+
+
+class TestMessages:
+    def test_sparse_build(self):
+        relation = h_relation_of_messages(3, {(0, 1): 2, (1, 2): 4})
+        assert relation.sent_words == (2, 4, 0)
+        assert relation.received_words == (0, 2, 4)
+        assert relation.h == 4
+
+    def test_accumulates_duplicates(self):
+        relation = h_relation_of_messages(2, {(0, 1): 2})
+        again = h_relation_of_messages(2, {(0, 1): 1, (1, 0): 1})
+        assert relation.h == 2
+        assert again.h == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            h_relation_of_messages(2, {(0, 5): 1})
+
+
+class TestOneRelation:
+    def test_h_equals_size(self):
+        assert one_relation(4, size=3).h == 3
+
+    def test_single_process_is_empty(self):
+        assert one_relation(1).h == 0
+
+    def test_every_process_balanced(self):
+        relation = one_relation(5, size=2)
+        assert all(h == 2 for h in relation.per_process)

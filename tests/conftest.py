@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prelude_env import prelude_env
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.prelude import with_prelude
+
+
+@pytest.fixture(scope="session")
+def prelude_typing_env():
+    """The prelude schemes as a typing environment (built once)."""
+    return prelude_env()
+
+
+def parse(source: str):
+    """Parse a single expression (test shorthand)."""
+    return parse_expression(source)
+
+
+def program(source: str):
+    """Parse a full program (definitions + final expression)."""
+    return parse_program(source)
+
+
+def loaded(source: str):
+    """Parse a program and link the prelude definitions it uses."""
+    return with_prelude(parse_program(source))

@@ -1,0 +1,127 @@
+"""Tests for the replicated-reference effect analysis (section 6 prototype)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.effects import (
+    EffectKind,
+    analyze_effects,
+    effect_errors,
+    is_effect_safe,
+)
+from repro.lang.parser import parse_expression as parse
+from repro.semantics.bigstep import run
+from repro.semantics.errors import ReplicaDivergenceError
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "1 + 2",
+            "let r = ref 0 in r := 1 ; !r",
+            "mkpar (fun i -> i)",
+            # per-process refs are created in component context: fine
+            "mkpar (fun i -> let c = ref i in c := !c + 1 ; !c)",
+            # replicated ref used only globally: fine
+            "let r = ref 0 in let v = mkpar (fun i -> i) in r := 9 ; !r",
+        ],
+    )
+    def test_no_errors(self, source):
+        assert effect_errors(parse(source)) == []
+
+    def test_fully_safe_programs(self):
+        assert is_effect_safe(parse("let r = ref 0 in r := 1 ; !r"))
+
+
+class TestDivergenceDetection:
+    def test_component_assignment_flagged(self):
+        source = "let r = ref 0 in mkpar (fun i -> r := i ; i)"
+        errors = effect_errors(parse(source))
+        assert any(
+            e.kind is EffectKind.COMPONENT_ASSIGNMENT and e.reference == "r"
+            for e in errors
+        )
+
+    def test_global_deref_after_divergence_flagged(self):
+        source = "let r = ref 0 in fst (mkpar (fun i -> r := i ; i), !r)"
+        kinds = {e.kind for e in effect_errors(parse(source))}
+        assert EffectKind.COMPONENT_ASSIGNMENT in kinds
+        assert EffectKind.GLOBAL_DEREF_AFTER_DIVERGENCE in kinds
+
+    def test_assignment_through_put_sender(self):
+        source = (
+            "let r = ref 0 in"
+            " put (mkpar (fun i -> fun dst -> (r := i ; nc ())))"
+        )
+        assert effect_errors(parse(source))
+
+    def test_apply_functions_run_per_component(self):
+        source = (
+            "let r = ref 0 in"
+            " apply (mkpar (fun i -> fun x -> (r := x ; x)), mkpar (fun i -> i))"
+        )
+        assert effect_errors(parse(source))
+
+    def test_component_deref_is_informational(self):
+        source = "let r = ref 1 in mkpar (fun i -> !r + i)"
+        warnings = analyze_effects(parse(source))
+        assert any(w.kind is EffectKind.COMPONENT_DEREF for w in warnings)
+        assert effect_errors(parse(source)) == []
+
+    def test_shadowing_is_respected(self):
+        # The inner r is a fresh per-process ref, not the replicated one.
+        source = (
+            "let r = ref 0 in"
+            " mkpar (fun i -> let r = ref i in r := !r + 1 ; !r)"
+        )
+        assert effect_errors(parse(source)) == []
+
+    def test_escape_reported_conservatively(self):
+        source = (
+            "let r = ref 0 in"
+            " let poke = fun s -> s := 1 in"
+            " mkpar (fun i -> poke r ; i)"
+        )
+        warnings = analyze_effects(parse(source))
+        assert any(w.kind is EffectKind.MAY_ESCAPE for w in warnings)
+        assert not is_effect_safe(parse(source))
+
+
+class TestSoundness:
+    """Every dynamically-diverging program must be flagged statically."""
+
+    DIVERGING = [
+        "let r = ref 0 in fst (mkpar (fun i -> r := i ; i), !r)",
+        "let r = ref 0 in"
+        " fst (apply (mkpar (fun i -> fun x -> (r := i ; x)),"
+        " mkpar (fun i -> i)), !r)",
+    ]
+
+    @pytest.mark.parametrize("source", DIVERGING)
+    def test_dynamic_divergence_implies_static_flag(self, source):
+        expr = parse(source)
+        with pytest.raises(ReplicaDivergenceError):
+            run(expr, 3)
+        assert not is_effect_safe(expr)
+
+    COHERENT = [
+        # same value assigned everywhere: dynamically coherent, but the
+        # analysis is conservative and still flags it (documented).
+        "let r = ref 0 in fst (mkpar (fun i -> r := 7 ; i), !r)",
+    ]
+
+    @pytest.mark.parametrize("source", COHERENT)
+    def test_conservative_on_coherent_assignments(self, source):
+        expr = parse(source)
+        run(expr, 3)  # runs fine
+        assert not is_effect_safe(expr)  # flagged anyway: approximation
+
+
+class TestWarningRendering:
+    def test_str_mentions_kind_and_reference(self):
+        source = "let r = ref 0 in mkpar (fun i -> r := i ; i)"
+        text = str(effect_errors(parse(source))[0])
+        assert "component assignment" in text
+        assert "r:" in text

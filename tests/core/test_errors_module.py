@@ -1,0 +1,133 @@
+"""Tests for the error hierarchy: types, messages, catchability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    NestingError,
+    OccursCheckError,
+    TypingError,
+    UnboundVariableError,
+    UnificationError,
+    UnknownPrimitiveError,
+)
+from repro.lang.ast import Loc
+from repro.lang.errors import LexError, ParseError, ReproError, SourceError
+from repro.semantics.errors import (
+    DivisionByZeroError,
+    DynamicNestingError,
+    EvalError,
+    RefContextError,
+    ReplicaDivergenceError,
+    StepLimitExceeded,
+    StuckError,
+)
+
+
+class TestHierarchy:
+    """One except-clause catches everything the library raises."""
+
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            LexError,
+            ParseError,
+            TypingError,
+            UnboundVariableError,
+            UnknownPrimitiveError,
+            UnificationError,
+            OccursCheckError,
+            NestingError,
+            EvalError,
+            StuckError,
+            DynamicNestingError,
+            DivisionByZeroError,
+            ReplicaDivergenceError,
+            RefContextError,
+            StepLimitExceeded,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_typing_errors_are_source_errors(self):
+        assert issubclass(TypingError, SourceError)
+
+    def test_nesting_is_a_typing_error(self):
+        assert issubclass(NestingError, TypingError)
+
+
+class TestMessages:
+    def test_source_error_formats_location(self):
+        error = SourceError("boom", Loc(3, 7))
+        assert str(error) == "3:7: boom"
+        assert error.bare_message == "boom"
+
+    def test_source_error_without_location(self):
+        assert str(SourceError("boom")) == "boom"
+
+    def test_unbound_variable(self):
+        error = UnboundVariableError("x", Loc(1, 1))
+        assert "'x'" in str(error)
+        assert error.name == "x"
+
+    def test_unification_keeps_both_types(self):
+        from repro.core.types import BOOL, INT
+
+        error = UnificationError(INT, BOOL)
+        assert error.left == INT and error.right == BOOL
+        assert "int" in str(error) and "bool" in str(error)
+
+    def test_occurs_check(self):
+        from repro.core.types import TPar, TVar
+
+        error = OccursCheckError("a", TPar(TVar("a")))
+        assert "occurs" in str(error)
+
+    def test_nesting_error_mentions_rule_and_constraint(self):
+        from repro.core.constraints import FALSE
+
+        error = NestingError("Let", FALSE, detail="extra context")
+        assert "(Let)" in str(error)
+        assert "False" in str(error)
+        assert "extra context" in str(error)
+        assert error.rule == "Let"
+
+    def test_step_limit(self):
+        error = StepLimitExceeded(1234)
+        assert "1234" in str(error)
+        assert error.limit == 1234
+
+    def test_stuck_error_diagnosis(self):
+        from repro.lang.ast import Var
+
+        error = StuckError(Var("x"), diagnosis="free variable 'x'")
+        assert "free variable" in str(error)
+        assert error.expr == Var("x")
+
+    def test_dynamic_nesting_mentions_process(self):
+        from repro.lang.ast import Prim
+
+        error = DynamicNestingError(Prim("mkpar"), proc=2)
+        assert "process 2" in str(error)
+
+
+class TestCatchability:
+    def test_one_clause_covers_frontend_and_typing(self):
+        from repro.core.infer import infer
+        from repro.lang.parser import parse_expression
+
+        outcomes = []
+        for source in ["(", "x", "1 + true", "fst (1, mkpar (fun i -> i))"]:
+            try:
+                infer(parse_expression(source))
+                outcomes.append("ok")
+            except ReproError as error:
+                outcomes.append(type(error).__name__)
+        assert outcomes == [
+            "ParseError",
+            "UnboundVariableError",
+            "UnificationError",
+            "NestingError",
+        ]

@@ -1,0 +1,373 @@
+"""Tests for the inference engine — the rules of Figure 7 and all the
+worked examples of the paper (sections 2.1 and 4, Figures 8-10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import CLoc, FALSE, TRUE, imp, is_satisfiable
+from repro.core.errors import (
+    NestingError,
+    TypingError,
+    UnboundVariableError,
+    UnificationError,
+    UnknownPrimitiveError,
+)
+from repro.core.infer import infer, infer_scheme, infer_with_derivation, typechecks
+from repro.core.prelude_env import prelude_env
+from repro.core.schemes import TypeEnv, mono
+from repro.core.types import (
+    BOOL,
+    INT,
+    TArrow,
+    TPair,
+    TPar,
+    TTuple,
+    TVar,
+    UNIT_TYPE,
+    render_type,
+)
+from repro.lang.ast import ParVec, Const
+from repro.lang.parser import parse_expression as parse, parse_program
+from repro.lang.prelude import with_prelude
+
+
+def type_of(source: str, env=None) -> str:
+    return render_type(infer(parse(source), env).type)
+
+
+def rejected(source: str, env=None) -> bool:
+    try:
+        infer(parse(source), env)
+        return False
+    except NestingError:
+        return True
+
+
+class TestBaseRules:
+    def test_const_int(self):
+        assert type_of("42") == "int"
+
+    def test_const_bool(self):
+        assert type_of("true") == "bool"
+
+    def test_const_unit(self):
+        assert type_of("()") == "unit"
+
+    def test_unbound_variable(self):
+        with pytest.raises(UnboundVariableError, match="'x'"):
+            infer(parse("x"))
+
+    def test_var_from_environment(self):
+        env = TypeEnv.empty().extend("x", mono(INT))
+        assert type_of("x + 1", env) == "int"
+
+    def test_primitive(self):
+        assert type_of("(+)") == "int * int -> int"
+
+
+class TestFunAndApp:
+    def test_identity(self):
+        assert type_of("fun x -> x") == "'a -> 'a"
+
+    def test_const_function(self):
+        assert type_of("fun x -> 1") == "'a -> int"
+
+    def test_application(self):
+        assert type_of("(fun x -> x + 1) 2") == "int"
+
+    def test_higher_order(self):
+        assert type_of("fun f -> f 1") == "(int -> 'a) -> 'a"
+
+    def test_application_type_clash(self):
+        with pytest.raises(UnificationError):
+            infer(parse("1 2"))
+
+    def test_argument_clash(self):
+        with pytest.raises(UnificationError):
+            infer(parse("(fun x -> x + 1) true"))
+
+    def test_occurs_self_application(self):
+        with pytest.raises(TypingError):
+            infer(parse("fun x -> x x"))
+
+
+class TestLetPolymorphism:
+    def test_let_simple(self):
+        assert type_of("let x = 1 in x + x") == "int"
+
+    def test_polymorphic_reuse(self):
+        assert type_of("let id = fun x -> x in (id 1, id true)") == "int * bool"
+
+    def test_shadowing(self):
+        assert type_of("let x = 1 in let x = true in x") == "bool"
+
+    def test_generalization_respects_environment(self):
+        # Classic: the lambda-bound f stays monomorphic.
+        with pytest.raises(UnificationError):
+            infer(parse("fun f -> (f 1, f true)"))
+
+    def test_let_scheme_display(self):
+        scheme = infer_scheme(parse("fun x -> fun y -> x"))
+        assert str(scheme).startswith("forall")
+
+
+class TestConditionals:
+    def test_if(self):
+        assert type_of("if true then 1 else 2") == "int"
+
+    def test_if_branches_must_agree(self):
+        with pytest.raises(UnificationError):
+            infer(parse("if true then 1 else false"))
+
+    def test_if_condition_must_be_bool(self):
+        with pytest.raises(UnificationError):
+            infer(parse("if 1 then 2 else 3"))
+
+    def test_ifat_requires_bool_par(self):
+        with pytest.raises(UnificationError):
+            infer(parse("if 1 at 0 then mkpar (fun i -> i) else mkpar (fun i -> i)"))
+
+    def test_ifat_global_result_ok(self):
+        source = "if mkpar (fun i -> true) at 0 then mkpar (fun i -> 1) else mkpar (fun i -> 2)"
+        assert type_of(source) == "int par"
+
+    def test_ifat_local_result_rejected(self):
+        # (Ifat) adds L(tau) => False: returning an int is rejected.
+        assert rejected("if mkpar (fun i -> true) at 0 then 1 else 2")
+
+    def test_ifat_index_must_be_int(self):
+        with pytest.raises(UnificationError):
+            infer(parse("if mkpar (fun i -> true) at true then mkpar (fun i -> 1) else mkpar (fun i -> 1)"))
+
+
+class TestParallelPrimitives:
+    def test_mkpar(self):
+        assert type_of("mkpar (fun i -> i)") == "int par"
+
+    def test_mkpar_bool(self):
+        assert type_of("mkpar (fun i -> i = 0)") == "bool par"
+
+    def test_apply(self):
+        source = "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> 0))"
+        assert type_of(source) == "int par"
+
+    def test_put(self):
+        source = "put (mkpar (fun i -> fun dst -> i))"
+        assert type_of(source) == "(int -> int) par"
+
+    def test_put_with_nc(self):
+        source = "put (mkpar (fun i -> fun dst -> if dst = 0 then i else nc ()))"
+        assert type_of(source) == "(int -> int) par"
+
+    def test_nproc(self):
+        assert type_of("mkpar (fun i -> nproc - i)") == "int par"
+
+    def test_mkpar_argument_must_take_int(self):
+        with pytest.raises(UnificationError):
+            infer(parse("mkpar (fun b -> b && true)"))
+
+
+class TestPaperRejections:
+    """Every negative example from sections 2.1 and 4."""
+
+    def test_example1_nested_vector_type(self):
+        source = """
+            let bcast = fun n -> fun vec ->
+              let tosend = apply (mkpar (fun i -> fun v -> fun dst ->
+                                           if i = n then v else nc ()), vec) in
+              apply (put tosend, mkpar (fun i -> n)) in
+            mkpar (fun pid -> bcast pid (mkpar (fun i -> i)))
+        """
+        assert rejected(source)
+
+    def test_example2_invisible_nesting(self):
+        assert rejected("mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)")
+
+    def test_direct_nesting(self):
+        assert rejected("mkpar (fun pid -> mkpar (fun i -> i))")
+
+    def test_projection_case_1_two_usual(self):
+        assert type_of("fst (1, 2)") == "int"
+
+    def test_projection_case_2_two_parallel(self):
+        assert (
+            type_of("fst (mkpar (fun i -> i), mkpar (fun i -> i))") == "int par"
+        )
+
+    def test_projection_case_3_parallel_and_usual(self):
+        assert type_of("fst (mkpar (fun i -> i), 1)") == "int par"
+
+    def test_projection_case_4_usual_and_parallel(self):
+        assert rejected("fst (1, mkpar (fun i -> i))")
+
+    def test_snd_mirror_of_case_4(self):
+        assert rejected("snd (mkpar (fun i -> i), 1)")
+
+    def test_snd_mirror_of_case_3(self):
+        assert type_of("snd (1, mkpar (fun i -> i))") == "int par"
+
+    def test_mismatched_barriers_example(self):
+        source = """
+            let vec1 = mkpar (fun pid -> pid) in
+            let vec2 = put (mkpar (fun pid -> fun src -> 1 + src)) in
+            let c1 = (vec1, 1) in let c2 = (vec2, 2) in
+            mkpar (fun pid -> if pid < (nproc / 2) then snd c1 else snd c2)
+        """
+        assert rejected(source)
+
+    def test_let_binding_global_with_local_body(self):
+        # The (Let) rule's L(tau2) => L(tau1) is deliberately conservative:
+        # even at top level, discarding a vector is rejected.
+        assert rejected("let vec = mkpar (fun i -> i) in 42")
+
+    def test_put_inside_component(self):
+        assert rejected("mkpar (fun pid -> put (mkpar (fun i -> fun dst -> i)))")
+
+
+class TestParallelIdentity:
+    """Section 4's example: constraints beyond the basic ones."""
+
+    def test_scheme_has_global_only_constraint(self):
+        scheme = infer_scheme(
+            parse("fun x -> if mkpar (fun i -> true) at 0 then x else x")
+        )
+        body = scheme.body
+        assert render_type(body.type) == "'a -> 'a"
+        alpha = body.type.domain.name
+        assert body.constraint == imp(CLoc(alpha), FALSE)
+
+    def test_parallel_identity_accepts_vectors(self):
+        source = (
+            "let parid = fun x -> if mkpar (fun i -> true) at 0 then x else x in "
+            "parid (mkpar (fun i -> i))"
+        )
+        assert type_of(source) == "int par"
+
+    def test_parallel_identity_rejects_usual_values(self):
+        source = (
+            "let parid = fun x -> if mkpar (fun i -> true) at 0 then x else x in "
+            "parid 1"
+        )
+        assert rejected(source)
+
+
+class TestPreludeSchemes:
+    """The prelude functions get their textbook BSMLlib types."""
+
+    @pytest.mark.parametrize(
+        "name,expected_type,expected_constraint",
+        [
+            ("replicate", "'a -> 'a par", "L('a)"),
+            ("parfun", "('a -> 'b) -> 'a par -> 'b par", "L('a) /\\ L('b)"),
+            ("bcast", "int -> 'a par -> 'a par", "L('a)"),
+            ("shift", "int -> 'a par -> 'a par", "L('a)"),
+            ("totex", "'a par -> (int -> 'a) par", "L('a)"),
+            ("fold", "('a * 'a -> 'a) -> 'a par -> 'a par", "L('a)"),
+            ("scan", "('a * 'a -> 'a) -> 'a par -> 'a par", "L('a)"),
+        ],
+    )
+    def test_prelude_scheme(self, name, expected_type, expected_constraint):
+        from repro.core.constraints import render_constraint
+        from repro.core.types import _variable_display_names
+
+        scheme = prelude_env().lookup(name)
+        assert scheme is not None
+        names = _variable_display_names(scheme.body.type)
+        assert render_type(scheme.body.type, names) == expected_type
+        assert render_constraint(scheme.body.constraint, names) == expected_constraint
+
+    def test_using_prelude_from_environment(self):
+        ct = infer(parse("bcast 0 (mkpar (fun i -> i))"), prelude_env())
+        assert render_type(ct.type) == "int par"
+
+    def test_prelude_cannot_build_nesting(self):
+        assert rejected("replicate (mkpar (fun i -> i))", prelude_env())
+        assert rejected("bcast 0 (mkpar (fun i -> mkpar (fun j -> j)))", prelude_env())
+
+
+class TestTuplesExtension:
+    def test_triple(self):
+        assert type_of("(1, true, ())") == "int * bool * unit"
+
+    def test_tuple_with_vector(self):
+        assert type_of("(1, true, mkpar (fun i -> i))") == "int * bool * int par"
+
+    def test_nested_vector_in_tuple_rejected(self):
+        assert rejected("mkpar (fun i -> (1, 2, mkpar (fun j -> j)))")
+
+
+class TestExtendedExpressions:
+    def test_parvec_types_at_par(self):
+        ct = infer(ParVec((Const(1), Const(2))))
+        assert render_type(ct.type) == "int par"
+
+    def test_parvec_components_must_agree(self):
+        with pytest.raises(UnificationError):
+            infer(ParVec((Const(1), Const(True))))
+
+    def test_nested_parvec_rejected(self):
+        inner = ParVec((Const(1), Const(2)))
+        with pytest.raises(NestingError):
+            infer(ParVec((inner, inner)))
+
+
+class TestDerivations:
+    def test_success_has_conclusion(self):
+        ct, derivation = infer_with_derivation(parse("1 + 1"))
+        assert derivation.conclusion is not None
+        assert render_type(derivation.conclusion.type) == "int"
+
+    def test_rule_names(self):
+        _, derivation = infer_with_derivation(parse("let x = 1 in fun y -> x"))
+        rules = {derivation.rule}
+        stack = list(derivation.premises)
+        while stack:
+            node = stack.pop()
+            rules.add(node.rule)
+            stack.extend(node.premises)
+        assert {"Let", "Const", "Fun", "Var"} <= rules
+
+    def test_failure_carries_derivation(self):
+        with pytest.raises(NestingError) as error:
+            infer_with_derivation(parse("fst (1, mkpar (fun i -> i))"))
+        assert error.value.derivation.conclusion is None
+        assert error.value.derivation.rule == "App"
+
+
+class TestPruning:
+    def test_pruned_and_unpruned_agree_on_type(self):
+        expr = with_prelude(parse_program("bcast 0 (mkpar (fun i -> i))"))
+        pruned = infer(expr, prune=True)
+        full = infer(expr, prune=False)
+        assert render_type(pruned.type) == render_type(full.type)
+
+    def test_pruned_constraint_mentions_only_type_vars(self):
+        from repro.core.constraints import constraint_atoms
+        from repro.core.types import free_type_vars
+
+        expr = with_prelude(parse_program("let i2 = fun x -> x in i2"))
+        ct = infer(expr, prune=True)
+        assert constraint_atoms(ct.constraint) <= free_type_vars(ct.type)
+
+    @pytest.mark.parametrize("source", [
+        "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)",
+        "fst (1, mkpar (fun i -> i))",
+    ])
+    def test_pruning_does_not_change_rejection(self, source):
+        for prune in (True, False):
+            with pytest.raises(NestingError):
+                infer(parse(source), prune=prune)
+
+
+class TestMiscErrors:
+    def test_unknown_primitive(self):
+        from repro.lang.ast import Prim
+
+        with pytest.raises(UnknownPrimitiveError):
+            infer(Prim("made_up"))
+
+    def test_typechecks_predicate(self):
+        assert typechecks(parse("1 + 1"))
+        assert not typechecks(parse("1 + true"))
+        assert not typechecks(parse("fst (1, mkpar (fun i -> i))"))

@@ -1,0 +1,129 @@
+"""The initial environment TC must match Figure 6 of the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import CLoc, TRUE, conj, imp
+from repro.core.initial_env import (
+    PRIMITIVE_SCHEMES,
+    constant_scheme,
+    constant_type,
+    primitive_scheme,
+)
+from repro.core.schemes import instantiate
+from repro.core.types import (
+    BOOL,
+    INT,
+    TArrow,
+    TPair,
+    TPar,
+    TVar,
+    UNIT_TYPE,
+    render_type,
+)
+from repro.lang.ast import UNIT, Const
+from repro.lang.parser import PRIMITIVE_NAMES, BINARY_OPERATORS
+
+
+class TestConstants:
+    def test_integers(self):
+        assert constant_type(0) == INT
+        assert constant_type(-7) == INT
+
+    def test_booleans(self):
+        assert constant_type(True) == BOOL
+        assert constant_type(False) == BOOL
+
+    def test_unit(self):
+        assert constant_type(UNIT) == UNIT_TYPE
+
+    def test_constant_scheme(self):
+        assert constant_scheme(Const(3)).body.type == INT
+
+
+class TestFigure6Schemes:
+    """Each scheme compared against the figure, type and constraint."""
+
+    def _body(self, name):
+        return PRIMITIVE_SCHEMES[name].body
+
+    def test_plus(self):
+        assert render_type(self._body("+").type) == "int * int -> int"
+        assert self._body("+").constraint == TRUE
+
+    def test_comparison(self):
+        assert render_type(self._body("<").type) == "int * int -> bool"
+
+    def test_fix(self):
+        assert render_type(self._body("fix").type) == "('a -> 'a) -> 'a"
+        assert self._body("fix").constraint == TRUE
+
+    def test_fst(self):
+        body = self._body("fst")
+        assert render_type(body.type) == "'a * 'b -> 'a"
+        a, b = body.type.domain.first.name, body.type.domain.second.name
+        assert body.constraint == imp(CLoc(a), CLoc(b))
+
+    def test_snd(self):
+        body = self._body("snd")
+        assert render_type(body.type) == "'a * 'b -> 'b"
+        a, b = body.type.domain.first.name, body.type.domain.second.name
+        assert body.constraint == imp(CLoc(b), CLoc(a))
+
+    def test_nc(self):
+        body = self._body("nc")
+        assert render_type(body.type) == "unit -> 'a"
+        assert body.constraint == TRUE
+
+    def test_isnc(self):
+        body = self._body("isnc")
+        assert render_type(body.type) == "'a -> bool"
+        assert body.constraint == CLoc(body.type.domain.name)
+
+    def test_mkpar(self):
+        body = self._body("mkpar")
+        assert render_type(body.type) == "(int -> 'a) -> 'a par"
+        content = body.type.codomain.content
+        assert body.constraint == CLoc(content.name)
+
+    def test_apply(self):
+        body = self._body("apply")
+        assert render_type(body.type) == "('a -> 'b) par * 'a par -> 'b par"
+        inner = body.type.domain.first.content
+        assert body.constraint == conj(CLoc(inner.domain.name), CLoc(inner.codomain.name))
+
+    def test_put(self):
+        body = self._body("put")
+        assert (
+            render_type(body.type) == "(int -> 'a) par -> (int -> 'a) par"
+        )
+        message = body.type.domain.content.codomain
+        assert body.constraint == CLoc(message.name)
+
+    def test_nproc(self):
+        assert self._body("nproc").type == INT
+
+
+class TestCoverage:
+    def test_every_parser_primitive_has_a_scheme(self):
+        for name in PRIMITIVE_NAMES:
+            assert primitive_scheme(name) is not None, name
+
+    def test_every_operator_has_a_scheme(self):
+        for name in BINARY_OPERATORS:
+            assert primitive_scheme(name) is not None, name
+
+    def test_unknown_primitive_returns_none(self):
+        assert primitive_scheme("frobnicate") is None
+
+    def test_every_scheme_is_closed(self):
+        for name, scheme in PRIMITIVE_SCHEMES.items():
+            assert scheme.free_vars() == frozenset(), name
+
+    def test_every_scheme_instantiates_satisfiably(self):
+        from repro.core.constraints import is_satisfiable
+
+        for name, scheme in PRIMITIVE_SCHEMES.items():
+            ct = instantiate(scheme)
+            assert is_satisfiable(ct.constraint), name

@@ -1,0 +1,104 @@
+"""Tests for derivation rendering (the Figures 8-10 proof trees)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.judgments import (
+    explain,
+    render_derivation,
+    render_derivation_indented,
+)
+from repro.core.schemes import TypeEnv, mono
+from repro.core.types import INT
+from repro.lang.parser import parse_expression as parse
+
+
+class TestExplain:
+    def test_accepted(self):
+        explanation = explain(parse("1 + 1"))
+        assert explanation.accepted
+        assert explanation.verdict == "well-typed"
+        assert explanation.error is None
+
+    def test_rejected_nesting(self):
+        explanation = explain(parse("fst (1, mkpar (fun i -> i))"))
+        assert not explanation.accepted
+        assert explanation.derivation is not None
+        assert explanation.derivation.conclusion is None
+
+    def test_rejected_other_typing_error(self):
+        explanation = explain(parse("1 + true"))
+        assert not explanation.accepted
+        assert explanation.derivation is None
+        assert explanation.error is not None
+
+    def test_render_contains_verdict_and_expr(self):
+        text = explain(parse("1 + 1")).render()
+        assert "well-typed" in text
+        assert "1 + 1" in text
+
+
+class TestFigure8:
+    """The paper's Figure 8: the partial judgement of example2 with
+    E = {pid : int} fails at the (Let) rule."""
+
+    def test_inner_let_fails_at_let_rule(self):
+        env = TypeEnv.empty().extend("pid", mono(INT))
+        explanation = explain(
+            parse("let this = mkpar (fun i -> i) in pid"), env
+        )
+        assert not explanation.accepted
+        assert explanation.derivation.rule == "Let"
+        text = explanation.render()
+        assert ": ?" in text  # the paper's "?" conclusion
+
+    def test_premises_show_int_par(self):
+        env = TypeEnv.empty().extend("pid", mono(INT))
+        explanation = explain(parse("let this = mkpar (fun i -> i) in pid"), env)
+        text = explanation.render()
+        assert "int par" in text
+
+
+class TestFigures9And10:
+    def test_third_projection_tree(self):
+        text = explain(parse("fst (mkpar (fun i -> i), 1)")).render()
+        assert "(App)" in text and "(Pair)" in text and "(Op)" in text
+        assert "int par * int -> int par" in text
+
+    def test_fourth_projection_tree_has_question_mark(self):
+        text = explain(parse("fst (1, mkpar (fun i -> i))")).render()
+        assert ": ?" in text
+        assert "int * int par" in text
+
+
+class TestRenderers:
+    def test_tree_has_rule_bars(self):
+        _, derivation = _derive("fun x -> x")
+        text = render_derivation(derivation)
+        assert "---" in text
+        assert "(Fun)" in text
+
+    def test_indented_renderer(self):
+        _, derivation = _derive("let a = 1 in a + a")
+        text = render_derivation_indented(derivation)
+        lines = text.splitlines()
+        assert lines[0].startswith("(Let)")
+        assert any(line.startswith("  (") for line in lines)
+
+    def test_truncation_of_wide_judgements(self):
+        source = "fun a -> " * 12 + "1"
+        _, derivation = _derive(source)
+        text = render_derivation(derivation, max_width=60)
+        assert "..." in text
+
+    def test_note_shown_in_indented_form(self):
+        _, derivation = _derive("let x = 1 in x")
+        text = render_derivation_indented(derivation)
+        assert "x :" in text  # the Let rule's generalization note
+
+
+def _derive(source):
+    from repro.core.infer import infer_with_derivation
+
+    return infer_with_derivation(parse(source))

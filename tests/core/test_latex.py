@@ -1,0 +1,108 @@
+"""Tests for the LaTeX (bussproofs) derivation exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.infer import infer_with_derivation
+from repro.core.judgments import explain
+from repro.core.latex import (
+    derivation_to_latex,
+    explanation_to_latex,
+    latex_escape,
+)
+from repro.lang.parser import parse_expression as parse
+
+
+def derive(source: str):
+    _, derivation = infer_with_derivation(parse(source))
+    return derivation
+
+
+class TestEscaping:
+    def test_special_characters(self):
+        assert latex_escape("a_b") == r"a\_b"
+        assert latex_escape("50%") == r"50\%"
+        assert latex_escape("{x}") == r"\{x\}"
+        assert latex_escape("a & b") == r"a \& b"
+
+    def test_plain_text_untouched(self):
+        assert latex_escape("fun i -> i") == "fun i -> i"
+
+
+class TestDerivationExport:
+    def test_wraps_in_prooftree(self):
+        text = derivation_to_latex(derive("1 + 1"))
+        assert text.startswith(r"\begin{prooftree}")
+        assert text.endswith(r"\end{prooftree}")
+
+    def test_rule_labels_present(self):
+        text = derivation_to_latex(derive("let x = 1 in fun y -> x"))
+        for rule in ("Let", "Fun", "Const", "Var"):
+            assert rf"({rule})" in text
+
+    def test_balanced_environments(self):
+        text = derivation_to_latex(derive("fst (mkpar (fun i -> i), 1)"))
+        assert text.count(r"\begin{prooftree}") == 1
+        assert text.count(r"\end{prooftree}") == 1
+
+    def test_axioms_match_inferences(self):
+        # Every AxiomC opens a branch that exactly one *InfC sequence closes:
+        # in bussproofs the total premises consumed equals axioms produced.
+        text = derivation_to_latex(derive("(1 + 2) * 3"))
+        axioms = text.count(r"\AxiomC")
+        unary = text.count(r"\UnaryInfC")
+        binary = text.count(r"\BinaryInfC")
+        trinary = text.count(r"\TrinaryInfC")
+        quaternary = text.count(r"\QuaternaryInfC")
+        consumed = unary + 2 * binary + 3 * trinary + 4 * quaternary
+        produced = axioms + unary + binary + trinary + quaternary
+        # The root conclusion is produced but never consumed.
+        assert produced - consumed == 1
+
+    def test_constraints_render_with_logic_symbols(self):
+        # The parallel identity keeps L('a) => False in its conclusion.
+        text = derivation_to_latex(
+            derive("fun x -> if mkpar (fun i -> true) at 0 then x else x")
+        )
+        assert "L(" in text
+        assert r"\Rightarrow" in text
+
+    def test_standalone_document(self):
+        text = derivation_to_latex(derive("1"), standalone=True)
+        assert r"\documentclass" in text
+        assert r"\usepackage{bussproofs}" in text
+        assert r"\end{document}" in text
+
+    def test_wide_rule_grouping(self):
+        # No rule in the core has > 5 premises, but the grouping must not
+        # fire for <= 5 (IfAt has 4).
+        text = derivation_to_latex(
+            derive(
+                "if mkpar (fun i -> true) at 0 then mkpar (fun i -> 1)"
+                " else mkpar (fun i -> 2)"
+            )
+        )
+        assert r"\QuaternaryInfC" in text
+
+
+class TestExplanationExport:
+    def test_accepted_program(self):
+        text = explanation_to_latex(explain(parse("fst (mkpar (fun i -> i), 1)")))
+        assert r"\textbf{well-typed}" in text
+        assert r"\begin{prooftree}" in text
+
+    def test_rejected_program_shows_question_mark(self):
+        text = explanation_to_latex(explain(parse("fst (1, mkpar (fun i -> i))")))
+        assert r"\textbf{rejected}" in text
+        assert ": ?$" in text
+
+    def test_non_derivation_failure(self):
+        text = explanation_to_latex(explain(parse("1 + true")))
+        assert r"\textit" in text
+
+    def test_standalone(self):
+        text = explanation_to_latex(
+            explain(parse("1 + 1")), standalone=True
+        )
+        assert r"\end{document}" in text

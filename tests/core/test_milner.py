@@ -1,0 +1,83 @@
+"""Tests for the Milner baseline: what plain ML typing accepts.
+
+The paper's section 2.1 argument, mechanized: classic typing assigns
+perfectly reasonable-looking types to every nesting-unsafe program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TypingError, UnificationError
+from repro.core.milner import milner_infer, milner_typechecks
+from repro.core.types import has_nested_par, render_type
+from repro.lang.parser import parse_expression as parse, parse_program
+from repro.lang.prelude import with_prelude
+from repro.testing.generators import unsafe_corpus, well_typed_corpus
+
+
+def milner_type(source: str) -> str:
+    return render_type(milner_infer(with_prelude(parse_program(source))))
+
+
+class TestAcceptsOrdinaryPrograms:
+    @pytest.mark.parametrize("source", well_typed_corpus())
+    def test_accepts_everything_the_constrained_system_accepts(self, source):
+        assert milner_typechecks(with_prelude(parse_program(source)))
+
+    def test_identity(self):
+        assert milner_type("fun x -> x") == "'a -> 'a"
+
+    def test_mkpar(self):
+        assert milner_type("mkpar (fun i -> i)") == "int par"
+
+
+class TestAcceptsUnsafePrograms:
+    """The whole point of the paper: these all get past Milner typing."""
+
+    @pytest.mark.parametrize("source", unsafe_corpus())
+    def test_accepts_the_entire_unsafe_corpus(self, source):
+        assert milner_typechecks(with_prelude(parse_program(source)))
+
+    def test_example1_types_at_nested_par(self):
+        source = "mkpar (fun pid -> bcast pid (mkpar (fun i -> i)))"
+        ty = milner_infer(with_prelude(parse_program(source)))
+        assert render_type(ty) == "int par par"
+        assert has_nested_par(ty)
+
+    def test_example2_nesting_is_invisible_in_the_type(self):
+        source = "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)"
+        ty = milner_infer(with_prelude(parse_program(source)))
+        assert render_type(ty) == "int par"
+        assert not has_nested_par(ty)  # that's the problem!
+
+    def test_fourth_projection_types_at_int(self):
+        ty = milner_infer(parse("fst (1, mkpar (fun i -> i))"))
+        assert render_type(ty) == "int"
+
+
+class TestStillRejectsTypeClashes:
+    def test_bad_arithmetic(self):
+        assert not milner_typechecks(parse("1 + true"))
+
+    def test_bad_application(self):
+        assert not milner_typechecks(parse("1 2"))
+
+    def test_branch_mismatch(self):
+        assert not milner_typechecks(parse("if true then 1 else false"))
+
+    def test_unbound(self):
+        assert not milner_typechecks(parse("zzz"))
+
+
+class TestAgreementOnSafePrograms:
+    """On programs both systems accept, the inferred types coincide."""
+
+    @pytest.mark.parametrize("source", well_typed_corpus())
+    def test_same_types(self, source):
+        from repro.core.infer import infer
+
+        expr = with_prelude(parse_program(source))
+        ours = render_type(infer(expr).type)
+        theirs = render_type(milner_infer(expr))
+        assert ours == theirs

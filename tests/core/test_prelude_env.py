@@ -1,0 +1,55 @@
+"""Tests for the prelude-as-environment (library-module typing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NestingError, UnboundVariableError
+from repro.core.infer import infer
+from repro.core.prelude_env import prelude_env
+from repro.core.types import render_type
+from repro.lang.parser import parse_expression as parse
+from repro.lang.prelude import PRELUDE_DEFINITIONS
+
+
+class TestConstruction:
+    def test_every_definition_gets_a_scheme(self):
+        env = prelude_env()
+        for name, _ in PRELUDE_DEFINITIONS:
+            assert env.lookup(name) is not None, name
+
+    def test_cached_instance(self):
+        assert prelude_env() is prelude_env()
+
+    def test_schemes_are_closed(self):
+        for name, scheme in prelude_env().items():
+            assert scheme.free_vars() == frozenset(), name
+
+
+class TestLibraryStyleTyping:
+    def test_local_program_unaffected_by_global_library(self):
+        # The motivating case: let-wrapping the whole prelude around a
+        # local program would trip the (Let) rule; environment linking
+        # does not.
+        ct = infer(parse("1 + 2"), prelude_env())
+        assert render_type(ct.type) == "int"
+
+    def test_global_program_uses_library(self):
+        ct = infer(parse("bcast 0 (mkpar (fun i -> i))"), prelude_env())
+        assert render_type(ct.type) == "int par"
+
+    def test_instantiations_are_independent(self):
+        source = (
+            "(parfun (fun x -> x + 1) (mkpar (fun i -> i)),"
+            " parfun (fun b -> not b) (mkpar (fun i -> true)))"
+        )
+        ct = infer(parse(source), prelude_env())
+        assert render_type(ct.type) == "int par * bool par"
+
+    def test_library_constraints_still_bite(self):
+        with pytest.raises(NestingError):
+            infer(parse("replicate (mkpar (fun i -> i))"), prelude_env())
+
+    def test_unknown_names_still_unbound(self):
+        with pytest.raises(UnboundVariableError):
+            infer(parse("no_such_function 1"), prelude_env())

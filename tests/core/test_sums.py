@@ -1,0 +1,204 @@
+"""Tests for the sum-type extension (paper section 6: "investigated").
+
+Covers the whole pipeline — syntax, both evaluators, typing, locality —
+and the nesting-safety interaction: sums must not open a hole through
+which parallel vectors can hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NestingError, UnificationError
+from repro.core.infer import infer, infer_scheme, typechecks
+from repro.core.milner import milner_infer
+from repro.core.types import INT, TPar, TSum, TVar, render_type
+from repro.core.constraints import CLoc, locality, basic_constraint, conj
+from repro.lang.ast import Case, Inl, Inr, Const, Var
+from repro.lang.parser import parse_expression as parse
+from repro.lang.pretty import pretty
+from repro.lang.substitution import alpha_equal, free_vars, substitute
+from repro.semantics.bigstep import run
+from repro.semantics.smallstep import evaluate
+from repro.semantics.values import reify, to_python
+
+
+class TestSyntax:
+    def test_parse_injections(self):
+        assert parse("inl 1") == Inl(Const(1))
+        assert parse("inr true") == Inr(Const(True))
+
+    def test_parse_case(self):
+        expr = parse("case s of inl x -> x | inr y -> 0")
+        assert expr == Case(Var("s"), "x", Var("x"), "y", Const(0))
+
+    def test_injection_binds_like_application(self):
+        # inl 1 + 2 parses as (inl 1) + 2
+        expr = parse("inl 1 + 2")
+        from repro.lang.ast import App, Pair, Prim
+
+        assert expr == App(Prim("+"), Pair(Inl(Const(1)), Const(2)))
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "inl 1",
+            "inr (1, true)",
+            "case inl 1 of inl x -> x + 1 | inr y -> y",
+            "fun s -> case s of inl x -> inr x | inr y -> inl y",
+            "case s of inl x -> (case x of inl a -> 1 | inr b -> 2) | inr y -> 3",
+        ],
+    )
+    def test_round_trip(self, source):
+        expr = parse(source)
+        assert parse(pretty(expr)) == expr
+
+    def test_case_branch_binders(self):
+        expr = parse("case s of inl x -> x | inr y -> x")
+        assert free_vars(expr) == {"s", "x"}
+
+    def test_case_substitution_respects_binders(self):
+        expr = parse("case s of inl x -> x | inr y -> x")
+        result = substitute(expr, "x", Const(9))
+        assert result == parse("case s of inl x -> x | inr y -> 9")
+
+    def test_case_alpha_equivalence(self):
+        left = parse("case s of inl x -> x | inr y -> y")
+        right = parse("case s of inl a -> a | inr b -> b")
+        assert alpha_equal(left, right)
+        assert not alpha_equal(left, parse("case s of inl a -> a | inr b -> a"))
+
+
+class TestEvaluation:
+    def test_case_left(self):
+        assert evaluate(parse("case inl 3 of inl x -> x * 2 | inr y -> 0"), 1) == Const(6)
+
+    def test_case_right(self):
+        assert evaluate(
+            parse("case inr 3 of inl x -> 0 | inr y -> y * 2"), 1
+        ) == Const(6)
+
+    def test_scrutinee_evaluated_first(self):
+        expr = parse("case (if true then inl 1 else inr 2) of inl x -> x | inr y -> y")
+        assert evaluate(expr, 1) == Const(1)
+
+    def test_injection_payload_evaluated(self):
+        assert evaluate(parse("inl (1 + 2)"), 1) == Inl(Const(3))
+
+    def test_big_step_agrees(self):
+        source = (
+            "mkpar (fun i -> case (if i mod 2 = 0 then inl i else inr (i * 10))"
+            " of inl x -> x + 1000 | inr y -> y)"
+        )
+        expr = parse(source)
+        assert alpha_equal(evaluate(expr, 4), reify(run(expr, 4)))
+
+    def test_to_python_tags(self):
+        assert to_python(run(parse("inl 1"), 1)) == ("inl", 1)
+        assert to_python(run(parse("inr true"), 1)) == ("inr", True)
+
+    def test_case_on_non_sum_sticks(self):
+        from repro.semantics.errors import StuckError
+
+        with pytest.raises(StuckError):
+            evaluate(parse("case 1 of inl x -> x | inr y -> y"), 1)
+
+    def test_option_encoding(self):
+        # option 'a  ~  (unit, 'a) sum : the classic encoding works.
+        source = (
+            "let none = inl () in"
+            " let some = fun v -> inr v in"
+            " let getor = fun d -> fun o ->"
+            "   case o of inl u -> d | inr v -> v in"
+            " (getor 7 none, getor 7 (some 42))"
+        )
+        assert to_python(run(parse(source), 1)) == (7, 42)
+
+
+class TestTyping:
+    def test_injection_types(self):
+        ct = infer(parse("inl 1"))
+        assert isinstance(ct.type, TSum)
+        assert ct.type.left == INT
+
+    def test_case_result(self):
+        assert render_type(infer(parse(
+            "case inl 3 of inl x -> x + 1 | inr b -> if b then 1 else 0"
+        )).type) == "int"
+
+    def test_case_function_scheme(self):
+        scheme = infer_scheme(parse("fun s -> case s of inl x -> x | inr y -> y"))
+        assert render_type(scheme.body.type) == "('a, 'a) sum -> 'a"
+
+    def test_branches_must_agree(self):
+        with pytest.raises(UnificationError):
+            infer(parse("fun s -> case s of inl x -> 1 | inr y -> true"))
+
+    def test_scrutinee_must_be_sum(self):
+        with pytest.raises(UnificationError):
+            infer(parse("case 1 of inl x -> 1 | inr y -> 2"))
+
+    def test_milner_agrees_on_safe_sums(self):
+        expr = parse("case inl 1 of inl x -> x | inr y -> y + 1")
+        assert render_type(milner_infer(expr)) == render_type(infer(expr).type)
+
+
+class TestLocality:
+    def test_sum_locality_is_pointwise(self):
+        ty = TSum(TVar("a"), INT)
+        assert locality(ty) == CLoc("a")
+
+    def test_sum_with_par_side_is_global(self):
+        from repro.core.constraints import FALSE
+
+        assert locality(TSum(INT, TPar(INT))) == FALSE
+
+    def test_basic_constraint_descends(self):
+        ty = TSum(TPar(TVar("a")), INT)
+        assert basic_constraint(ty) == CLoc("a")
+
+    def test_vector_of_sums_is_fine(self):
+        source = "mkpar (fun i -> if i = 0 then inl i else inr true)"
+        assert render_type(infer(parse(source)).type) == "(int, bool) sum par"
+
+    def test_sum_of_vectors_cannot_enter_mkpar(self):
+        source = "mkpar (fun i -> inl (mkpar (fun j -> j)))"
+        with pytest.raises(NestingError):
+            infer(parse(source))
+
+    def test_case_cannot_hide_a_vector(self):
+        # Like snd (mkpar ..., 1): a local result from a scrutinee holding
+        # a vector is rejected by the (Case) rule's L(result)=>L(scrutinee).
+        source = "case inl (mkpar (fun i -> i)) of inl x -> 1 | inr y -> 2"
+        with pytest.raises(NestingError):
+            infer(parse(source))
+
+    def test_case_may_return_the_vector_itself(self):
+        source = (
+            "case inl (mkpar (fun i -> i)) of"
+            " inl x -> x | inr y -> mkpar (fun i -> 0)"
+        )
+        assert render_type(infer(parse(source)).type) == "int par"
+
+    def test_case_safety_dynamic_counterpart(self):
+        # The statically rejected program would evaluate a vector inside
+        # a locally-typed expression (cost-model violation) — with sums it
+        # still runs, exactly like the fourth projection.
+        source = "case inl (mkpar (fun i -> i)) of inl x -> 1 | inr y -> 2"
+        assert evaluate(parse(source), 2) == Const(1)
+
+
+class TestSafetyProperty:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_sum_heavy_program_is_safe(self, p):
+        from repro.core.unify import unifiable
+
+        source = (
+            "let classify = fun n -> if n < 0 then inl (0 - n) else inr n in"
+            " mkpar (fun i -> case classify (i - 1) of"
+            " inl neg -> neg * 100 | inr pos -> pos)"
+        )
+        expr = parse(source)
+        ct = infer(expr)
+        value = evaluate(expr, p)
+        assert unifiable(infer(value).type, ct.type)

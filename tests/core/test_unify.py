@@ -1,0 +1,114 @@
+"""Tests for first-order unification over the type algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import OccursCheckError, UnificationError
+from repro.core.types import (
+    BOOL,
+    INT,
+    TArrow,
+    TPair,
+    TPar,
+    TTuple,
+    TVar,
+)
+from repro.core.unify import unifiable, unify
+
+
+class TestSuccess:
+    def test_identical_types(self):
+        assert not unify(INT, INT)
+
+    def test_variable_binds_left(self):
+        subst = unify(TVar("a"), INT)
+        assert subst.apply_type(TVar("a")) == INT
+
+    def test_variable_binds_right(self):
+        subst = unify(INT, TVar("a"))
+        assert subst.apply_type(TVar("a")) == INT
+
+    def test_variable_to_variable(self):
+        subst = unify(TVar("a"), TVar("b"))
+        assert subst.apply_type(TVar("a")) == subst.apply_type(TVar("b"))
+
+    def test_arrow_decomposition(self):
+        subst = unify(TArrow(TVar("a"), TVar("b")), TArrow(INT, BOOL))
+        assert subst.apply_type(TVar("a")) == INT
+        assert subst.apply_type(TVar("b")) == BOOL
+
+    def test_pair(self):
+        subst = unify(TPair(TVar("a"), TVar("a")), TPair(INT, TVar("b")))
+        assert subst.apply_type(TVar("b")) == INT
+
+    def test_par(self):
+        subst = unify(TPar(TVar("a")), TPar(INT))
+        assert subst.apply_type(TVar("a")) == INT
+
+    def test_nested_propagation(self):
+        left = TArrow(TVar("a"), TPar(TVar("a")))
+        right = TArrow(INT, TVar("b"))
+        subst = unify(left, right)
+        assert subst.apply_type(TVar("b")) == TPar(INT)
+
+    def test_tuples(self):
+        subst = unify(
+            TTuple((TVar("a"), TVar("b"), INT)), TTuple((INT, BOOL, TVar("c")))
+        )
+        assert subst.apply_type(TVar("c")) == INT
+
+    def test_unifier_is_most_general(self):
+        # unify(a -> b, c -> c) must not over-specialize a or b to ground.
+        subst = unify(TArrow(TVar("a"), TVar("b")), TArrow(TVar("c"), TVar("c")))
+        result = subst.apply_type(TArrow(TVar("a"), TVar("b")))
+        assert isinstance(result, TArrow)
+        assert isinstance(result.domain, TVar)
+        assert result.domain == result.codomain
+
+    def test_unify_nested_par_types(self):
+        # Unification itself permits (tau par) par: it is the constraint
+        # layer, not unification, that rejects nesting.
+        subst = unify(TPar(TVar("a")), TPar(TPar(INT)))
+        assert subst.apply_type(TVar("a")) == TPar(INT)
+
+
+class TestFailure:
+    def test_base_clash(self):
+        with pytest.raises(UnificationError):
+            unify(INT, BOOL)
+
+    def test_constructor_clash(self):
+        with pytest.raises(UnificationError):
+            unify(TArrow(INT, INT), TPair(INT, INT))
+
+    def test_par_vs_base(self):
+        with pytest.raises(UnificationError):
+            unify(TPar(INT), INT)
+
+    def test_tuple_arity_clash(self):
+        with pytest.raises(UnificationError):
+            unify(TTuple((INT, INT, INT)), TTuple((INT, INT, INT, INT)))
+
+    def test_occurs_check(self):
+        with pytest.raises(OccursCheckError):
+            unify(TVar("a"), TArrow(TVar("a"), INT))
+
+    def test_occurs_check_under_par(self):
+        with pytest.raises(OccursCheckError):
+            unify(TVar("a"), TPar(TVar("a")))
+
+    def test_deep_clash(self):
+        with pytest.raises(UnificationError):
+            unify(TArrow(INT, TPar(INT)), TArrow(INT, TPar(BOOL)))
+
+
+class TestUnifiable:
+    def test_true(self):
+        assert unifiable(TVar("a"), TPar(INT))
+
+    def test_false(self):
+        assert not unifiable(INT, BOOL)
+
+    def test_occurs_is_not_unifiable(self):
+        assert not unifiable(TVar("a"), TPair(TVar("a"), INT))

@@ -1,0 +1,165 @@
+"""Tests for the ``minibsml`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestTypecheck:
+    def test_accepts(self, capsys):
+        code, out, _ = run_cli(capsys, "typecheck", "-e", "fun x -> x + 1")
+        assert code == 0
+        assert "int -> int" in out
+
+    def test_prelude_names_available(self, capsys):
+        code, out, _ = run_cli(capsys, "typecheck", "-e", "bcast")
+        assert code == 0
+        assert "int -> 'a par -> 'a par" in out
+
+    def test_rejects_nesting(self, capsys):
+        code, _, err = run_cli(
+            capsys, "typecheck", "-e", "fst (1, mkpar (fun i -> i))"
+        )
+        assert code == 1
+        assert "nesting" in err
+
+    def test_syntax_error(self, capsys):
+        code, _, err = run_cli(capsys, "typecheck", "-e", "fun ->")
+        assert code == 2
+        assert "syntax error" in err
+
+    def test_no_prelude_flag(self, capsys):
+        code, _, err = run_cli(capsys, "typecheck", "--no-prelude", "-e", "bcast")
+        assert code == 1  # unbound without the prelude
+
+
+class TestRun:
+    def test_runs_and_prints_value(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "-e", "bcast 1 (mkpar (fun i -> i * 5))", "-p", "4"
+        )
+        assert code == 0
+        assert "[5, 5, 5, 5]" in out
+
+    def test_cost_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--cost", "-e", "put (mkpar (fun j -> fun d -> j))"
+        )
+        assert code == 0
+        assert "BSP cost" in out
+        assert "put" in out
+
+    def test_typecheck_guards_run(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "-e", "mkpar (fun i -> mkpar (fun j -> j))"
+        )
+        assert code == 1
+        assert "type error" in err
+
+    def test_untyped_run_gets_dynamically_stuck(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "run",
+            "--untyped",
+            "-e",
+            "mkpar (fun i -> mkpar (fun j -> j))",
+        )
+        assert code == 1
+        assert "parallel" in err.lower()
+
+    def test_file_input(self, capsys, tmp_path):
+        source = tmp_path / "prog.bsml"
+        source.write_text("let double x = x * 2 ;; double 21")
+        code, out, _ = run_cli(capsys, "run", str(source))
+        assert code == 0
+        assert "42" in out
+
+
+class TestTrace:
+    def test_shows_steps(self, capsys):
+        code, out, _ = run_cli(capsys, "trace", "-e", "1 + 2 * 3", "-p", "2")
+        assert code == 0
+        assert "1 + 2 * 3" in out
+        assert "7" in out
+
+    def test_limit(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "trace", "--limit", "3", "-e",
+            "(fix (fun f -> fun n -> if n = 0 then 0 else f (n - 1))) 50",
+        )
+        assert code == 0
+        assert "truncated" in out
+
+
+class TestExplain:
+    def test_accepted_tree(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "explain", "-e", "fst (mkpar (fun i -> i), 1)"
+        )
+        assert code == 0
+        assert "well-typed" in out
+        assert "(App)" in out
+
+    def test_rejected_tree(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "explain", "-e", "fst (1, mkpar (fun i -> i))"
+        )
+        assert code == 1
+        assert "rejected" in out
+        assert ": ?" in out
+
+
+class TestEffectsFlag:
+    def test_clean_program_exits_zero(self, capsys):
+        code, out, err = run_cli(
+            capsys, "typecheck", "--effects", "-e", "let r = ref 0 in r := 1 ; !r"
+        )
+        assert code == 0
+        assert "effect:" not in err
+
+    def test_diverging_program_exits_nonzero(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "typecheck",
+            "--effects",
+            "-e",
+            "let r = ref 0 in fst (mkpar (fun i -> r := i ; i), !r)",
+        )
+        assert code == 1
+        assert "component assignment" in err
+        assert "global deref" in err
+
+
+class TestAscriptionsOnCli:
+    def test_annotation_accepted(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "typecheck", "-e", "(mkpar (fun i -> i) : int par)"
+        )
+        assert code == 0
+        assert "int par" in out
+
+    def test_bad_annotation_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "typecheck", "-e", "(1 : bool)")
+        assert code == 1
+
+    def test_nested_annotation_rejected_as_nesting(self, capsys):
+        code, _, err = run_cli(capsys, "typecheck", "-e", "(nc () : int par par)")
+        assert code == 1
+        assert "nesting" in err
+
+
+class TestReplSubcommand:
+    def test_repl_is_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["repl", "-p", "2"])
+        assert args.p == 2

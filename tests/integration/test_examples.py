@@ -1,0 +1,56 @@
+"""The example scripts must run cleanly end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "broadcast_cost.py",
+    "parallel_sort.py",
+    "nesting_gallery.py",
+    "extensions_tour.py",
+    "graph_algorithms.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_the_headline_claims():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "int -> 'a par -> 'a par" in result.stdout  # bcast's scheme
+    assert "rejected" in result.stdout  # the section 2.1 rejections
+    assert "BSP cost" in result.stdout  # cost accounting
+
+
+def test_gallery_shows_milner_vs_bsml():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "nesting_gallery.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "ACCEPTS" in result.stdout  # Milner column
+    assert "REJECTS" in result.stdout  # BSML column
+    assert "int par par" in result.stdout  # example1's Milner type

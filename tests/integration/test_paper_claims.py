@@ -1,0 +1,216 @@
+"""End-to-end checks of every claim the paper makes, via the public API.
+
+One test per claim; the benchmark suite regenerates the corresponding
+figures/tables with full output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    NestingError,
+    TypingError,
+    milner_infer,
+    run_program,
+    typecheck,
+    typecheck_scheme,
+)
+from repro.core import explain, render_type
+from repro.lang import parse_expression, parse_program, with_prelude
+
+
+class TestSection2_BSMLPrimitives:
+    """Section 2: the informal semantics of the four primitives."""
+
+    def test_mkpar_stores_f_i_on_process_i(self):
+        result = run_program("mkpar (fun i -> i * i)", p=5)
+        assert result.python_value == [0, 1, 4, 9, 16]
+
+    def test_apply_is_pointwise(self):
+        result = run_program(
+            "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> i))", p=4
+        )
+        assert result.python_value == [0, 2, 4, 6]
+
+    def test_put_exchanges_and_delivers(self):
+        result = run_program(
+            "parfun (fun f -> f 0) (put (mkpar (fun j -> fun dst -> j + 100)))",
+            p=3,
+        )
+        assert result.python_value == [100, 100, 100]
+
+    def test_ifat_takes_the_branch_of_process_n(self):
+        result = run_program(
+            "if mkpar (fun i -> i = 2) at 2 then mkpar (fun i -> 1)"
+            " else mkpar (fun i -> 0)",
+            p=4,
+        )
+        assert result.python_value == [1, 1, 1, 1]
+
+    def test_bsp_p_is_static(self):
+        assert run_program("nproc", p=7, typed=False).python_value == 7
+
+
+class TestSection21_Bcast:
+    """Section 2.1: bcast and formula (1)."""
+
+    def test_bcast_broadcasts(self):
+        result = run_program("bcast 2 (mkpar (fun i -> i * 10))", p=4)
+        assert result.python_value == [20, 20, 20, 20]
+
+    def test_bcast_type(self):
+        scheme = typecheck_scheme("bcast")
+        assert "int -> 'a par -> 'a par" in str(scheme)
+        assert "L('a)" in str(scheme)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_formula_1_h_and_s_terms(self, p):
+        result = run_program("bcast 0 (mkpar (fun i -> i))", p=p, g=1.0, l=10.0)
+        assert result.cost.H == p - 1  # (p-1) * s with s = 1
+        assert result.cost.S == 1  # one l term
+
+    def test_example1_is_rejected(self):
+        with pytest.raises(NestingError):
+            typecheck("mkpar (fun pid -> bcast pid (mkpar (fun i -> i)))")
+
+    def test_example1_milner_type_is_nested(self):
+        expr = with_prelude(
+            parse_program("mkpar (fun pid -> bcast pid (mkpar (fun i -> i)))")
+        )
+        assert render_type(milner_infer(expr)) == "int par par"
+
+    def test_example2_is_rejected(self):
+        with pytest.raises(NestingError):
+            typecheck("mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)")
+
+    def test_example2_milner_type_hides_the_nesting(self):
+        expr = parse_expression(
+            "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)"
+        )
+        assert render_type(milner_infer(expr)) == "int par"
+
+    def test_four_projection_cases(self):
+        assert render_type(typecheck("fst (1, 2)").type) == "int"
+        assert (
+            render_type(
+                typecheck("fst (mkpar (fun i -> i), mkpar (fun i -> i))").type
+            )
+            == "int par"
+        )
+        assert render_type(typecheck("fst (mkpar (fun i -> i), 1)").type) == "int par"
+        with pytest.raises(NestingError):
+            typecheck("fst (1, mkpar (fun i -> i))")
+
+    def test_one_polymorphic_fst_serves_all_valid_cases(self):
+        # The paper's point against the syntactic (Haskell-monadic)
+        # approach: no need for three versions of fst.
+        source = (
+            "let use1 = fst (1, 2) in"
+            " let use2 = fst (mkpar (fun i -> i), mkpar (fun i -> true)) in"
+            " let use3 = fst (mkpar (fun i -> i), 1) in"
+            " use3"
+        )
+        assert render_type(typecheck(source).type) == "int par"
+
+    def test_mismatched_barrier_example_is_rejected(self):
+        source = """
+            let vec1 = mkpar (fun pid -> pid) in
+            let vec2 = put (mkpar (fun pid -> fun src -> 1 + src)) in
+            let c1 = (vec1, 1) in let c2 = (vec2, 2) in
+            mkpar (fun pid -> if pid < (nproc / 2) then snd c1 else snd c2)
+        """
+        with pytest.raises(NestingError):
+            typecheck(source)
+
+
+class TestSection4_TypeSystem:
+    """Section 4: the type system's distinguishing judgements."""
+
+    def test_parallel_identity_scheme(self):
+        scheme = typecheck_scheme(
+            "fun x -> if mkpar (fun i -> true) at 0 then x else x"
+        )
+        text = str(scheme)
+        assert "'a -> 'a" in text
+        assert "L('a) => False" in text
+
+    def test_paper_example_let_f_in_1(self):
+        # "let f = (fun a -> fun b -> a) in 1 has the type
+        #  [int / L(a) => L(b)]" — with pruning the dead constraint goes;
+        # without pruning it is retained, exactly as the paper says.
+        from repro.core.infer import infer
+
+        expr = parse_expression("let f = (fun a -> fun b -> a) in 1")
+        unpruned = infer(expr, prune=False)
+        assert render_type(unpruned.type) == "int"
+        assert "=>" in str(unpruned.constraint)
+        pruned = infer(expr, prune=True)
+        assert str(pruned.constraint) == "True"
+
+    def test_figure8_judgement_fails_at_let(self):
+        from repro.core.schemes import TypeEnv, mono
+        from repro.core.types import INT
+
+        env = TypeEnv.empty().extend("pid", mono(INT))
+        explanation = explain(
+            parse_expression("let this = mkpar (fun i -> i) in pid"), env
+        )
+        assert not explanation.accepted
+        assert explanation.derivation.rule == "Let"
+
+
+class TestTheorem1:
+    """Typing safety, on the curated corpus (the random sweep lives in
+    tests/properties/test_safety.py)."""
+
+    def test_well_typed_corpus_runs_to_values(self):
+        from repro.testing.generators import well_typed_corpus
+
+        for source in well_typed_corpus():
+            result = run_program(source, p=3)
+            assert result.value is not None, source
+
+    def test_rejected_corpus_would_misbehave(self):
+        from repro.semantics.smallstep import is_dynamic_nesting
+        from repro.testing.generators import unsafe_corpus
+
+        dynamic_failures = 0
+        for source in unsafe_corpus():
+            expr = with_prelude(parse_program(source))
+            if is_dynamic_nesting(expr, 2):
+                dynamic_failures += 1
+        # Most (not all) rejected programs visibly nest at runtime; the
+        # others (fst-shaped, ifat-local) corrupt the cost model silently.
+        assert dynamic_failures >= 5
+
+
+class TestImperativeCorpus:
+    """The imperative corpus (extension): typed and evaluated by big-step."""
+
+    def test_all_accepted_and_runnable(self):
+        from repro.core.prelude_env import prelude_env
+        from repro.core.infer import infer
+        from repro.lang import parse_program, with_prelude
+        from repro.semantics.bigstep import run
+        from repro.testing.generators import CORPUS_IMPERATIVE
+
+        for source in CORPUS_IMPERATIVE:
+            expr = parse_program(source)
+            infer(expr, prelude_env())
+            value = run(with_prelude(expr), 3)
+            assert value is not None, source
+
+    def test_expected_values(self):
+        from repro.lang import parse_program, with_prelude
+        from repro.semantics.bigstep import run
+        from repro.semantics.values import to_python
+
+        cases = {
+            "let r = ref 0 in r := !r + 1 ; !r": 1,
+            "let a = ref 1 in let b = a in b := 5 ; !a": 5,
+            "let r = ref (1, 2) in r := (3, 4) ; fst !r + snd !r": 7,
+        }
+        for source, expected in cases.items():
+            value = run(with_prelude(parse_program(source)), 2)
+            assert to_python(value) == expected, source

@@ -1,0 +1,79 @@
+"""The shipped .bsml programs: typecheck, run, and check their outputs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import run_program, typecheck
+from repro.lang.parser import parse_program
+
+PROGRAMS_DIR = Path(__file__).resolve().parents[2] / "programs"
+
+
+def load(name: str):
+    return parse_program((PROGRAMS_DIR / name).read_text(), filename=name)
+
+
+class TestAllPrograms:
+    @pytest.mark.parametrize("path", sorted(PROGRAMS_DIR.glob("*.bsml")))
+    def test_typechecks(self, path):
+        typecheck(parse_program(path.read_text(), filename=path.name))
+
+    @pytest.mark.parametrize("path", sorted(PROGRAMS_DIR.glob("*.bsml")))
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_runs_at_every_machine_size(self, path, p):
+        expr = parse_program(path.read_text(), filename=path.name)
+        result = run_program(expr, p=p)
+        assert result.value is not None
+
+    def test_directory_is_not_empty(self):
+        assert len(list(PROGRAMS_DIR.glob("*.bsml"))) >= 5
+
+
+class TestBroadcast:
+    def test_value(self):
+        result = run_program(load("broadcast.bsml"), p=4)
+        assert result.python_value == [107] * 4
+
+    def test_formula_1_cost_shape(self):
+        result = run_program(load("broadcast.bsml"), p=8, g=2.0, l=50.0)
+        assert result.cost.S == 1
+        assert result.cost.H == 7  # (p-1) * s
+
+
+class TestMaximum:
+    def test_value(self):
+        result = run_program(load("maximum.bsml"), p=8)
+        expected = max((i * 7 + 3) % 11 for i in range(8))
+        assert result.python_value == [expected] * 8
+
+
+class TestInnerProduct:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_value(self, p):
+        result = run_program(load("inner_product.bsml"), p=p)
+        expected = sum((i + 1) * 2 * i for i in range(p))
+        assert result.python_value == [expected] * p
+
+
+class TestOddEvenSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_sorts(self, p):
+        result = run_program(load("odd_even_sort.bsml"), p=p)
+        expected = sorted((i * 5 + 3) % 8 for i in range(p))
+        assert result.python_value == expected
+
+    def test_p_supersteps_of_1_relations(self):
+        result = run_program(load("odd_even_sort.bsml"), p=8)
+        assert result.cost.S == 8  # one exchange round per process
+        assert result.cost.H == 8  # each round is a 1-relation
+
+
+class TestParallelPrefix:
+    def test_value(self):
+        result = run_program(load("parallel_prefix.bsml"), p=8)
+        sums, total = result.python_value
+        assert sums == [1, 3, 6, 10, 15, 21, 28, 36]
+        assert total == [36] * 8

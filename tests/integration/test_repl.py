@@ -1,0 +1,135 @@
+"""Tests for the interactive session (``minibsml repl``)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.bsp.params import BspParams
+from repro.repl import Session, run_repl
+
+
+def drive(*lines, params=None):
+    """Feed lines to a fresh session; return the output text."""
+    out = io.StringIO()
+    session = Session(params)
+    for line in lines:
+        if not session.handle(line, out):
+            break
+    return out.getvalue()
+
+
+class TestEvaluation:
+    def test_expression(self):
+        assert "- : int = 3" in drive("1 + 2")
+
+    def test_definition_then_use(self):
+        output = drive("let sq = fun x -> x * x", "sq 9")
+        assert "val sq :" in output
+        assert "- : int = 81" in output
+
+    def test_parallel_values_render_with_brackets(self):
+        output = drive("mkpar (fun i -> i)")
+        assert "<0, 1, 2, 3>" in output
+
+    def test_prelude_available(self):
+        output = drive("bcast 1 (mkpar (fun i -> i * 7))")
+        assert "<7, 7, 7, 7>" in output
+
+    def test_definitions_persist(self):
+        output = drive(
+            "let v = mkpar (fun i -> i)",
+            "let w = apply (mkpar (fun i -> fun x -> x + 1), v)",
+            "w",
+        )
+        assert "<1, 2, 3, 4>" in output
+
+    def test_references_work(self):
+        output = drive("let r = ref 10", "r := !r + 5 ; !r")
+        assert "- : int = 15" in output
+
+    def test_type_errors_are_reported_not_fatal(self):
+        output = drive("fst (1, mkpar (fun i -> i))", "1 + 1")
+        assert "error:" in output
+        assert "- : int = 2" in output
+
+    def test_eval_errors_are_reported_not_fatal(self):
+        output = drive("1 / 0", "2 + 2")
+        assert "error:" in output
+        assert "- : int = 4" in output
+
+    def test_parse_error_reported(self):
+        assert "error:" in drive("fun ->")
+
+
+class TestMetaCommands:
+    def test_type(self):
+        output = drive(":type fun x -> x")
+        assert "'a -> 'a" in output
+
+    def test_type_does_not_evaluate(self):
+        output = drive(":type mkpar (fun i -> i)", ":cost")
+        assert "W = 0.0" in output
+
+    def test_explain(self):
+        output = drive(":explain fst (mkpar (fun i -> i), 1)")
+        assert "(App)" in output
+
+    def test_trace(self):
+        output = drive(":trace 1 + 2")
+        assert "1 + 2" in output and "3" in output
+
+    def test_trace_uses_session_definitions(self):
+        output = drive("let two = 2", ":trace two + two")
+        assert "4" in output
+
+    def test_cost_accumulates(self):
+        output = drive("put (mkpar (fun j -> fun d -> j))", ":cost")
+        assert "S = 1" in output
+
+    def test_reset(self):
+        output = drive("let x = 1", ":reset", "x")
+        assert "session reset" in output
+        assert "error:" in output  # x is gone
+
+    def test_env(self):
+        output = drive("let x = 1", ":env")
+        assert "let x" in output
+
+    def test_p_restarts_machine(self):
+        output = drive(":p 8", "mkpar (fun i -> i)")
+        assert "p=8" in output
+        assert "<0, 1, 2, 3, 4, 5, 6, 7>" in output
+
+    def test_p_shows_current(self):
+        assert "p=4" in drive(":p")
+
+    def test_unknown_command(self):
+        assert "unknown command" in drive(":frobnicate")
+
+    def test_quit_stops(self):
+        out = io.StringIO()
+        session = Session()
+        assert session.handle("1 + 1", out)
+        assert not session.handle(":quit", out)
+
+
+class TestRunRepl:
+    def test_scripted_session(self):
+        stdin = io.StringIO("let v = mkpar (fun i -> i)\nbcast 0 v\n:quit\n")
+        out = io.StringIO()
+        code = run_repl(stdin, out, params=BspParams(p=2))
+        assert code == 0
+        text = out.getvalue()
+        assert "val v" in text
+        assert "<0, 0>" in text
+
+    def test_eof_terminates(self):
+        code = run_repl(io.StringIO(""), io.StringIO())
+        assert code == 0
+
+    def test_banner_mentions_machine(self):
+        out = io.StringIO()
+        run_repl(io.StringIO(""), out, params=BspParams(p=3, g=2.0, l=9.0))
+        assert "p=3" in out.getvalue()

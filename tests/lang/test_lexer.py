@@ -1,0 +1,139 @@
+"""Tests for the mini-BSML lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import KEYWORDS, Token, TokenKind, tokenize
+
+
+def kinds(source: str):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source: str):
+    return [token.text for token in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "42"
+
+    def test_zero(self):
+        assert texts("0") == ["0"]
+
+    def test_identifier(self):
+        tokens = tokenize("foobar")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "foobar"
+
+    def test_identifier_with_digits_and_primes(self):
+        assert texts("x1 y' z_3'") == ["x1", "y'", "z_3'"]
+
+    def test_every_keyword_lexes_as_keyword(self):
+        for word in KEYWORDS:
+            tokens = tokenize(word)
+            assert tokens[0].kind is TokenKind.KEYWORD, word
+            assert tokens[0].text == word
+
+    def test_keyword_prefix_is_identifier(self):
+        # ``lettuce`` starts with ``let`` but is one identifier.
+        tokens = tokenize("lettuce funny")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_mod_is_a_symbol(self):
+        tokens = tokenize("a mod b")
+        assert tokens[1].kind is TokenKind.SYMBOL
+        assert tokens[1].text == "mod"
+
+
+class TestSymbols:
+    @pytest.mark.parametrize(
+        "symbol",
+        ["->", "<=", ">=", "<>", "&&", "||", "(", ")", ",", "=", "+", "-",
+         "*", "/", "<", ">", ";;"],
+    )
+    def test_each_symbol(self, symbol):
+        tokens = tokenize(symbol)
+        assert tokens[0].kind is TokenKind.SYMBOL
+        assert tokens[0].text == symbol
+
+    def test_maximal_munch_arrow(self):
+        # ``->`` must not lex as ``-`` then ``>``.
+        assert texts("a->b") == ["a", "->", "b"]
+
+    def test_maximal_munch_leq(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+    def test_adjacent_symbols(self):
+        assert texts("((x))") == ["(", "(", "x", ")", ")"]
+
+
+class TestCommentsAndWhitespace:
+    def test_comment_is_skipped(self):
+        assert texts("1 (* hello *) 2") == ["1", "2"]
+
+    def test_nested_comments(self):
+        assert texts("1 (* a (* b *) c *) 2") == ["1", "2"]
+
+    def test_comment_spanning_lines(self):
+        assert texts("1 (* line\nline *) 2") == ["1", "2"]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError, match="unterminated comment"):
+            tokenize("1 (* oops")
+
+    def test_unterminated_nested_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("(* outer (* inner *) still open")
+
+    def test_mixed_whitespace(self):
+        assert texts("1\t2\r\n3") == ["1", "2", "3"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].loc.line, tokens[0].loc.column) == (1, 1)
+        assert (tokens[1].loc.line, tokens[1].loc.column) == (2, 3)
+
+    def test_columns_advance_within_line(self):
+        tokens = tokenize("a b c")
+        assert [t.loc.column for t in tokens[:-1]] == [1, 3, 5]
+
+    def test_comment_advances_position(self):
+        tokens = tokenize("(* x *)\nz")
+        assert tokens[0].loc.line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a # b")
+
+    def test_malformed_number(self):
+        with pytest.raises(LexError, match="malformed number"):
+            tokenize("12abc")
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as error:
+            tokenize("ok\n  @")
+        assert error.value.loc.line == 2
+
+
+class TestTokenDisplay:
+    def test_token_str(self):
+        token = tokenize("foo")[0]
+        assert str(token) == "'foo'"
+
+    def test_eof_str(self):
+        token = tokenize("")[0]
+        assert "end of input" in str(token)

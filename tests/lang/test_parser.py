@@ -1,0 +1,251 @@
+"""Tests for the mini-BSML parser (grammar of Figure 3 plus sugar)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import (
+    UNIT,
+    App,
+    Const,
+    Fun,
+    If,
+    IfAt,
+    Let,
+    Pair,
+    Prim,
+    Tuple,
+    Var,
+)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_definitions, parse_expression, parse_program
+
+
+def binop(op, left, right):
+    return App(Prim(op), Pair(left, right))
+
+
+class TestAtoms:
+    def test_integer(self):
+        assert parse_expression("7") == Const(7)
+
+    def test_true_false(self):
+        assert parse_expression("true") == Const(True)
+        assert parse_expression("false") == Const(False)
+
+    def test_unit(self):
+        assert parse_expression("()") == Const(UNIT)
+
+    def test_variable(self):
+        assert parse_expression("x") == Var("x")
+
+    def test_primitive(self):
+        assert parse_expression("mkpar") == Prim("mkpar")
+        assert parse_expression("fst") == Prim("fst")
+
+    def test_parenthesized(self):
+        assert parse_expression("(((5)))") == Const(5)
+
+
+class TestApplication:
+    def test_simple(self):
+        assert parse_expression("f x") == App(Var("f"), Var("x"))
+
+    def test_left_associative(self):
+        assert parse_expression("f x y") == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_application_binds_tighter_than_operators(self):
+        assert parse_expression("f x + 1") == binop(
+            "+", App(Var("f"), Var("x")), Const(1)
+        )
+
+    def test_nc_applied_to_unit(self):
+        assert parse_expression("nc ()") == App(Prim("nc"), Const(UNIT))
+
+
+class TestOperators:
+    def test_addition_desugars_to_pair_application(self):
+        assert parse_expression("1 + 2") == binop("+", Const(1), Const(2))
+
+    def test_precedence_mul_over_add(self):
+        assert parse_expression("1 + 2 * 3") == binop(
+            "+", Const(1), binop("*", Const(2), Const(3))
+        )
+
+    def test_left_associativity_of_subtraction(self):
+        assert parse_expression("10 - 3 - 2") == binop(
+            "-", binop("-", Const(10), Const(3)), Const(2)
+        )
+
+    def test_mod(self):
+        assert parse_expression("a mod b") == binop("mod", Var("a"), Var("b"))
+
+    def test_comparison_below_arithmetic(self):
+        assert parse_expression("1 + 1 = 2") == binop(
+            "=", binop("+", Const(1), Const(1)), Const(2)
+        )
+
+    def test_boolean_precedence(self):
+        # && binds tighter than ||
+        assert parse_expression("a || b && c") == binop(
+            "||", Var("a"), binop("&&", Var("b"), Var("c"))
+        )
+
+    def test_comparison_inside_booleans(self):
+        assert parse_expression("x < 1 && y > 2") == binop(
+            "&&", binop("<", Var("x"), Const(1)), binop(">", Var("y"), Const(2))
+        )
+
+    def test_unary_minus(self):
+        assert parse_expression("-x") == binop("-", Const(0), Var("x"))
+
+    def test_operator_section_in_parens(self):
+        assert parse_expression("(+)") == Prim("+")
+
+
+class TestBinders:
+    def test_fun(self):
+        assert parse_expression("fun x -> x") == Fun("x", Var("x"))
+
+    def test_fun_multi_param_curries(self):
+        assert parse_expression("fun a b -> a") == Fun("a", Fun("b", Var("a")))
+
+    def test_fun_body_extends_right(self):
+        assert parse_expression("fun x -> x + 1") == Fun(
+            "x", binop("+", Var("x"), Const(1))
+        )
+
+    def test_let(self):
+        assert parse_expression("let x = 1 in x") == Let("x", Const(1), Var("x"))
+
+    def test_let_function_sugar(self):
+        assert parse_expression("let f a b = a in f") == Let(
+            "f", Fun("a", Fun("b", Var("a"))), Var("f")
+        )
+
+    def test_nested_lets(self):
+        expr = parse_expression("let a = 1 in let b = 2 in a")
+        assert expr == Let("a", Const(1), Let("b", Const(2), Var("a")))
+
+    def test_cannot_bind_primitive_name(self):
+        with pytest.raises(ParseError, match="cannot rebind"):
+            parse_expression("fun mkpar -> mkpar")
+        with pytest.raises(ParseError, match="cannot rebind"):
+            parse_expression("let put = 1 in put")
+
+
+class TestConditionals:
+    def test_if(self):
+        assert parse_expression("if b then 1 else 2") == If(
+            Var("b"), Const(1), Const(2)
+        )
+
+    def test_ifat(self):
+        assert parse_expression("if v at 0 then 1 else 2") == IfAt(
+            Var("v"), Const(0), Const(1), Const(2)
+        )
+
+    def test_ifat_with_expression_index(self):
+        expr = parse_expression("if v at n + 1 then a else b")
+        assert isinstance(expr, IfAt)
+        assert expr.proc == binop("+", Var("n"), Const(1))
+
+    def test_if_condition_can_be_complex(self):
+        expr = parse_expression("if x < 2 && y = 0 then 1 else 2")
+        assert isinstance(expr, If)
+
+    def test_dangling_else_is_required(self):
+        with pytest.raises(ParseError, match="expected 'else'"):
+            parse_expression("if a then b")
+
+
+class TestPairsAndTuples:
+    def test_pair(self):
+        assert parse_expression("(1, 2)") == Pair(Const(1), Const(2))
+
+    def test_pair_without_parens(self):
+        assert parse_expression("1, 2") == Pair(Const(1), Const(2))
+
+    def test_triple_is_tuple(self):
+        assert parse_expression("(1, 2, 3)") == Tuple((Const(1), Const(2), Const(3)))
+
+    def test_nested_pairs(self):
+        assert parse_expression("((1, 2), 3)") == Pair(
+            Pair(Const(1), Const(2)), Const(3)
+        )
+
+    def test_pair_of_applications(self):
+        expr = parse_expression("(f x, g y)")
+        assert expr == Pair(App(Var("f"), Var("x")), App(Var("g"), Var("y")))
+
+
+class TestPrograms:
+    def test_definitions_only(self):
+        defs = parse_definitions("let one = 1\nlet two = 2")
+        assert defs == [("one", Const(1)), ("two", Const(2))]
+
+    def test_program_with_final_expression(self):
+        expr = parse_program("let x = 1 ;; x + 1")
+        assert expr == Let("x", Const(1), binop("+", Var("x"), Const(1)))
+
+    def test_bare_expression_program(self):
+        assert parse_program("41 + 1") == binop("+", Const(41), Const(1))
+
+    def test_let_in_as_whole_program(self):
+        expr = parse_program("let x = 1 in x")
+        assert expr == Let("x", Const(1), Var("x"))
+
+    def test_definition_with_params(self):
+        defs = parse_definitions("let add a b = a + b")
+        assert defs == [("add", Fun("a", Fun("b", binop("+", Var("a"), Var("b")))))]
+
+    def test_double_semicolons_are_separators(self):
+        expr = parse_program("let x = 1 ;; let y = 2 ;; x + y")
+        assert isinstance(expr, Let)
+
+    def test_program_without_final_expression_raises(self):
+        with pytest.raises(ParseError, match="no final expression"):
+            parse_program("let x = 1")
+
+    def test_definitions_reject_trailing_expression(self):
+        with pytest.raises(ParseError, match="trailing expression"):
+            parse_definitions("let x = 1 ;; x")
+
+
+class TestErrors:
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1 + 2")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            parse_expression("1 )")
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError, match="expected '->'"):
+            parse_expression("fun x x")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError, match="expected an expression"):
+            parse_expression("")
+
+    def test_keyword_as_atom(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + in")
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as error:
+            parse_expression("fun 3 -> x")
+        assert error.value.loc is not None
+
+
+class TestLocations:
+    def test_expression_nodes_carry_locations(self):
+        expr = parse_expression("let x = 1 in x")
+        assert expr.loc is not None
+        assert expr.loc.line == 1
+
+    def test_locations_do_not_affect_equality(self):
+        left = parse_expression("  1 + 2")
+        right = parse_expression("1 + 2")
+        assert left == right

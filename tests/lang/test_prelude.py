@@ -1,0 +1,119 @@
+"""Tests for the prelude: parsing, dependency filtering, linking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import Let, Var
+from repro.lang.parser import parse_expression
+from repro.lang.prelude import (
+    PRELUDE_DEFINITIONS,
+    needed_definitions,
+    prelude_asts,
+    prelude_map,
+    with_prelude,
+)
+from repro.lang.substitution import free_vars
+
+
+class TestParsing:
+    def test_all_definitions_parse(self):
+        assert len(prelude_asts()) == len(PRELUDE_DEFINITIONS)
+
+    def test_expected_names_present(self):
+        names = {name for name, _ in prelude_asts()}
+        assert {"replicate", "parfun", "bcast", "shift", "totex", "fold", "scan"} <= names
+
+    def test_map_matches_list(self):
+        assert set(prelude_map()) == {name for name, _ in prelude_asts()}
+
+    def test_definitions_only_use_earlier_names(self):
+        # The prelude is in dependency order: each body's free variables
+        # are primitives or previously defined names.
+        seen = set()
+        for name, body in prelude_asts():
+            assert free_vars(body) <= seen, f"{name} uses a later definition"
+            seen.add(name)
+
+
+class TestNeededDefinitions:
+    def test_no_reference_no_definitions(self):
+        assert needed_definitions(parse_expression("1 + 2")) == []
+
+    def test_direct_reference(self):
+        names = [n for n, _ in needed_definitions(parse_expression("replicate 1"))]
+        assert names == ["replicate"]
+
+    def test_transitive_dependencies(self):
+        names = [n for n, _ in needed_definitions(parse_expression("bcast 0 v"))]
+        # bcast uses parfun which uses replicate.
+        assert names == ["replicate", "parfun", "bcast"]
+
+    def test_fold_pulls_totex(self):
+        names = [n for n, _ in needed_definitions(parse_expression("fold f v"))]
+        assert "totex" in names
+        assert names.index("totex") < names.index("fold")
+
+
+class TestWithPrelude:
+    def test_local_program_is_untouched(self):
+        expr = parse_expression("1 + 2")
+        assert with_prelude(expr) == expr
+
+    def test_wrapping_produces_lets(self):
+        wrapped = with_prelude(parse_expression("replicate 7"))
+        assert isinstance(wrapped, Let)
+        assert wrapped.name == "replicate"
+
+    def test_wrapped_program_is_closed(self):
+        wrapped = with_prelude(parse_expression("bcast 0 (replicate 1)"))
+        assert free_vars(wrapped) == frozenset()
+
+    def test_only_forces_inclusion(self):
+        wrapped = with_prelude(Var("scan"), only=("scan",))
+        assert free_vars(wrapped) == frozenset()
+
+    def test_only_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="unknown prelude"):
+            with_prelude(parse_expression("1"), only=("nonexistent",))
+
+
+class TestPreludeSemantics:
+    """End-to-end sanity: the prelude functions compute what they claim."""
+
+    @pytest.mark.parametrize(
+        "source,p,expected",
+        [
+            ("replicate 9", 3, [9, 9, 9]),
+            ("procs", 3, [0, 1, 2]),
+            ("get 1 (mkpar (fun i -> i * 3))", 4, [3, 3, 3, 3]),
+            ("first (mkpar (fun i -> i + 5))", 3, [5, 5, 5]),
+            ("last (mkpar (fun i -> i + 5))", 3, [7, 7, 7]),
+            ("scanex (fun ab -> fst ab + snd ab) 0 (mkpar (fun i -> i + 1))",
+             4, [0, 1, 3, 6]),
+            ("scanex (fun ab -> fst ab * snd ab) 1 (mkpar (fun i -> i + 1))",
+             4, [1, 1, 2, 6]),
+            ("parfun (fun f -> if isnc (f 1) then 0 - 1 else f 1)"
+             " (gather 0 (mkpar (fun i -> i * 5)))", 3, [5, -1, -1]),
+            ("parfun (fun x -> x * 2) (mkpar (fun i -> i))", 4, [0, 2, 4, 6]),
+            ("parfun2 (fun a -> fun b -> a - b) (mkpar (fun i -> 10)) (mkpar (fun i -> i))",
+             3, [10, 9, 8]),
+            ("applyat 1 (fun x -> 0 - x) (fun x -> x) (mkpar (fun i -> i + 1))",
+             3, [1, -2, 3]),
+            ("bcast 1 (mkpar (fun i -> i * 5))", 4, [5, 5, 5, 5]),
+            ("shift 2 (mkpar (fun i -> i))", 4, [2, 3, 0, 1]),
+            ("fold (fun ab -> fst ab * snd ab) (mkpar (fun i -> i + 1))", 4,
+             [24, 24, 24, 24]),
+            ("scan (fun ab -> fst ab + snd ab) (mkpar (fun i -> i))", 4,
+             [0, 1, 3, 6]),
+            ("konst 1 2", 1, 1),
+            ("compose (fun a -> a + 1) (fun b -> b * 2) 5", 1, 11),
+        ],
+    )
+    def test_prelude_behaviour(self, source, p, expected):
+        from repro.lang.parser import parse_program
+        from repro.semantics.bigstep import run
+        from repro.semantics.values import to_python
+
+        expr = with_prelude(parse_program(source))
+        assert to_python(run(expr, p)) == expected

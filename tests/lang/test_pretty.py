@@ -1,0 +1,86 @@
+"""Tests for the pretty-printer, centred on the re-parse round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import App, Const, Fun, Pair, ParVec, Prim, Var
+from repro.lang.parser import parse_expression
+from repro.lang.pretty import pretty
+from repro.testing.generators import ProgramGenerator, well_typed_corpus
+
+ROUND_TRIP_SOURCES = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "f x y",
+    "f (x y)",
+    "fun a b c -> a (b c)",
+    "let x = fun y -> y in x x",
+    "if a then b else c",
+    "if v at 0 then x else y",
+    "(1, (2, 3))",
+    "((1, 2), 3)",
+    "(1, 2, 3)",
+    "a || b && c",
+    "(a || b) && c",
+    "1 - (2 - 3)",
+    "nc ()",
+    "isnc (nc ())",
+    "fst (mkpar (fun i -> i), 1)",
+    "mkpar (fun pid -> if pid = 0 then 1 else 0)",
+    "put (mkpar (fun i -> fun dst -> if dst = i then i else nc ()))",
+    "0 - 5",
+    "fun x -> (x, x)",
+    "(fun x -> x) 1",
+    "let apply2 = fun f v -> apply (f, v) in apply2",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_round_trip(source):
+    expr = parse_expression(source)
+    assert parse_expression(pretty(expr)) == expr
+
+
+@pytest.mark.parametrize("source", well_typed_corpus())
+def test_round_trip_on_corpus(source):
+    from repro.lang.parser import parse_program
+
+    expr = parse_program(source)
+    assert parse_expression(pretty(expr)) == expr
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_round_trip_on_random_programs(seed):
+    expr = ProgramGenerator(seed=seed).expression(depth=4)
+    assert parse_expression(pretty(expr)) == expr
+
+
+class TestSpecificRenderings:
+    def test_flat_curried_fun(self):
+        assert pretty(parse_expression("fun a -> fun b -> a")) == "fun a b -> a"
+
+    def test_operator_atom_gets_parens(self):
+        assert pretty(Prim("+")) == "(+)"
+
+    def test_minimal_parens_for_precedence(self):
+        assert pretty(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+        assert pretty(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_application_argument_parens(self):
+        assert pretty(parse_expression("f (g x)")) == "f (g x)"
+
+    def test_parallel_vector_renders_with_angle_brackets(self):
+        vec = ParVec((Const(1), Const(2)))
+        assert pretty(vec) == "<1, 2>"
+
+    def test_booleans(self):
+        assert pretty(Const(True)) == "true"
+        assert pretty(Const(False)) == "false"
+
+    def test_nested_pair_right(self):
+        assert pretty(parse_expression("(1, (2, 3))")) == "1, (2, 3)"
+
+    def test_if_at(self):
+        source = "if v at 0 then x else y"
+        assert pretty(parse_expression(source)) == source

@@ -1,0 +1,169 @@
+"""Hypothesis property tests for the algebraic laws the paper relies on.
+
+The paper works "modulo these following equations that are natural for
+the /\\ operators": True /\\ C = C, C /\\ C = C, commutativity.  These and
+the substitution laws (composition, idempotence on fresh vars) are the
+soundness bedrock of Definition 1; here they are tested as laws, not on
+examples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import (
+    FALSE,
+    TRUE,
+    CLoc,
+    conj,
+    constraint_atoms,
+    evaluate,
+    imp,
+    locality,
+    subst_constraint,
+)
+from repro.core.schemes import Subst
+from repro.core.types import (
+    BOOL,
+    INT,
+    TArrow,
+    TPair,
+    TPar,
+    TSum,
+    TVar,
+    apply_type_subst,
+    free_type_vars,
+)
+
+# -- strategies -------------------------------------------------------------
+
+_var_names = st.sampled_from(["a", "b", "c", "d"])
+
+_types = st.recursive(
+    st.one_of(st.just(INT), st.just(BOOL), _var_names.map(TVar)),
+    lambda inner: st.one_of(
+        st.tuples(inner, inner).map(lambda p: TArrow(*p)),
+        st.tuples(inner, inner).map(lambda p: TPair(*p)),
+        st.tuples(inner, inner).map(lambda p: TSum(*p)),
+        inner.map(TPar),
+    ),
+    max_leaves=6,
+)
+
+_atom_conjs = st.lists(_var_names, min_size=0, max_size=2).map(
+    lambda names: conj(*[CLoc(n) for n in names])
+)
+_constraints = st.lists(
+    st.one_of(
+        _var_names.map(CLoc),
+        st.tuples(_atom_conjs, st.one_of(_atom_conjs, st.just(FALSE))).map(
+            lambda p: imp(*p)
+        ),
+    ),
+    min_size=0,
+    max_size=4,
+).map(lambda cs: conj(*cs))
+
+_assignments = st.fixed_dictionaries(
+    {name: st.booleans() for name in ("a", "b", "c", "d")}
+)
+
+
+def _equivalent(left, right, assignment):
+    return evaluate(left, assignment) == evaluate(right, assignment)
+
+
+# -- conjunction laws --------------------------------------------------------
+
+
+@given(_constraints, _assignments)
+def test_conj_unit(c, assignment):
+    assert _equivalent(conj(TRUE, c), c, assignment)
+
+
+@given(_constraints, _assignments)
+def test_conj_idempotent(c, assignment):
+    assert conj(c, c) == c  # structurally, per the paper's equations
+
+
+@given(_constraints, _constraints)
+def test_conj_commutative_structurally(c1, c2):
+    assert conj(c1, c2) == conj(c2, c1)
+
+
+@given(_constraints, _constraints, _constraints, _assignments)
+def test_conj_associative_semantically(c1, c2, c3, assignment):
+    left = conj(conj(c1, c2), c3)
+    right = conj(c1, conj(c2, c3))
+    assert left == right  # flattened sets make this structural too
+
+
+@given(_constraints)
+def test_conj_absorbs_false(c):
+    assert conj(c, FALSE) == FALSE
+
+
+# -- implication laws ----------------------------------------------------------
+
+
+@given(_constraints, _assignments)
+def test_imp_true_antecedent(c, assignment):
+    assert _equivalent(imp(TRUE, c), c, assignment)
+
+
+@given(_constraints)
+def test_imp_reflexivity(c):
+    assert imp(c, c) == TRUE
+
+
+@given(_atom_conjs, _atom_conjs, _assignments)
+def test_imp_matches_boolean_semantics(a, b, assignment):
+    expected = (not evaluate(a, assignment)) or evaluate(b, assignment)
+    assert evaluate(imp(a, b), assignment) == expected
+
+
+# -- substitution laws ----------------------------------------------------------
+
+
+@given(_types, _var_names, _types)
+def test_type_substitution_removes_the_variable(ty, var, image):
+    if var in free_type_vars(image):
+        return  # would reintroduce it
+    result = apply_type_subst({var: image}, ty)
+    assert var not in free_type_vars(result)
+
+
+@given(_types, _var_names, _types, _var_names, _types)
+def test_substitution_composition(ty, v1, t1, v2, t2):
+    """(phi2 . phi1)(ty) == phi2(phi1(ty)) via Subst.compose."""
+    phi1 = Subst({v1: t1})
+    phi2 = Subst({v2: t2})
+    composed = phi2.compose(phi1)
+    assert composed.apply_type(ty) == phi2.apply_type(phi1.apply_type(ty))
+
+
+@given(_constraints, _var_names, _types, _assignments)
+def test_constraint_substitution_commutes_with_locality_semantics(
+    c, var, image, assignment
+):
+    """Substituting then evaluating == evaluating with the image's
+    locality value plugged in for the atom (Definition 1's atom law)."""
+    substituted = subst_constraint({var: image}, c)
+    image_locality = locality(image)
+    atoms = constraint_atoms(image_locality)
+    image_value = evaluate(image_locality, assignment) if atoms or True else True
+    modified = dict(assignment)
+    modified[var] = image_value
+    # Free atoms of the substituted constraint evaluate under `assignment`.
+    assert evaluate(substituted, assignment) == evaluate(c, modified)
+
+
+@given(_types)
+def test_identity_substitution(ty):
+    assert Subst.identity().apply_type(ty) == ty
+
+
+@given(_types, _assignments)
+def test_locality_is_monotone_under_par(ty, assignment):
+    """Wrapping in par always makes a type non-local."""
+    assert evaluate(locality(TPar(ty)), assignment) is False

@@ -1,0 +1,116 @@
+"""Property tests for the BSP cost model and the simulator's accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bsp.cost import BspCost
+from repro.bsp.machine import BspMachine
+from repro.bsp.network import h_relation_of_matrix
+from repro.bsp.params import BspParams
+from repro.bsml.primitives import Bsml
+from repro.bsml.stdlib import bcast_direct, scan, totex
+
+
+_small = st.integers(min_value=0, max_value=20)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.data())
+def test_h_relation_bounds(p, data):
+    matrix = [
+        [data.draw(_small) if i != j else 0 for j in range(p)] for i in range(p)
+    ]
+    relation = h_relation_of_matrix(matrix)
+    total = sum(sum(row) for row in matrix)
+    # h is at least the average load and at most the total traffic.
+    assert relation.h * p >= total / p or total == 0
+    assert relation.h <= total
+    # h_i = max(in, out) for each process.
+    for i in range(p):
+        sent = sum(matrix[i][j] for j in range(p) if j != i)
+        received = sum(matrix[j][i] for j in range(p) if j != i)
+        assert relation.per_process[i] == max(sent, received)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0, max_value=50),
+    st.floats(min_value=0, max_value=500),
+)
+def test_total_equals_sum_of_superstep_times(p, g, l):
+    params = BspParams(p=p, g=g, l=l)
+    machine = BspMachine(params)
+    machine.replicated(3)
+    if p > 1:
+        matrix = [[0] * p for _ in range(p)]
+        matrix[0][p - 1] = 4
+        machine.exchange(matrix)
+    machine.local(0, 2)
+    cost = machine.cost()
+    assert cost.check_decomposition(params)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=16))
+def test_cost_is_monotone_in_g_and_l(p):
+    """For any fixed communicating program, raising g or l never makes it
+    cheaper (a sanity property of W + H*g + S*l)."""
+    base = BspParams(p=p, g=1.0, l=10.0)
+    ctx = Bsml(base)
+    vector = ctx.mkpar(lambda i: i)
+    ctx.reset_cost()
+    bcast_direct(ctx, 0, vector)
+    cost = ctx.cost()
+    cheap = cost.total(base)
+    assert cost.total(BspParams(p=p, g=2.0, l=10.0)) >= cheap
+    assert cost.total(BspParams(p=p, g=1.0, l=20.0)) >= cheap
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8, 16])
+def test_cost_is_deterministic(p):
+    """Two identical runs account identical costs."""
+    totals = []
+    for _ in range(2):
+        ctx = Bsml(BspParams(p=p, g=2.0, l=30.0))
+        vector = ctx.mkpar(lambda i: [i] * 3)
+        scan(ctx, lambda a, b: a + b, vector)
+        totex(ctx, ctx.mkpar(lambda i: i))
+        totals.append(ctx.total_time())
+    assert totals[0] == totals[1]
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_mini_bsml_and_python_bsml_agree_on_structure(p):
+    """The same algorithm (direct broadcast) run through the mini-BSML
+    interpreter and through the Python library produces the same number
+    of supersteps and the same H."""
+    from repro.semantics.costed import run_source
+
+    params = BspParams(p=p, g=2.0, l=30.0)
+    interpreted = run_source("bcast 0 (mkpar (fun i -> i))", params)
+    ctx = Bsml(params)
+    vector = ctx.mkpar(lambda i: i)
+    ctx.reset_cost()
+    bcast_direct(ctx, 0, vector)
+    library_cost = ctx.cost()
+    assert interpreted.cost.S == library_cost.S == 1
+    assert interpreted.cost.H == library_cost.H == p - 1
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_cost_structure_independent_of_g_and_l(p):
+    """W, H and S are structural: they depend on the program and p only;
+    g and l enter solely through the final formula."""
+    from repro.semantics.costed import run_source
+
+    structures = []
+    for g, l in ((1.0, 10.0), (32.0, 5000.0)):
+        params = BspParams(p=p, g=g, l=l)
+        cost = run_source(
+            "scan (fun ab -> fst ab + snd ab) (mkpar (fun i -> i))", params
+        ).cost
+        structures.append((cost.W, cost.H, cost.S))
+    assert structures[0] == structures[1]

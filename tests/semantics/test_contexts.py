@@ -1,0 +1,153 @@
+"""Tests for evaluation contexts (Figure 5): unique decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Fun,
+    If,
+    Let,
+    Pair,
+    ParVec,
+    Prim,
+    Var,
+    is_value_syntax,
+)
+from repro.lang.parser import parse_expression as parse
+from repro.semantics.contexts import decompose, evaluation_positions, plug
+from repro.testing.generators import ProgramGenerator
+
+
+class TestDecompose:
+    def test_value_has_no_decomposition(self):
+        assert decompose(Const(1)) is None
+        assert decompose(parse("fun x -> x + 1")) is None
+
+    def test_head_redex(self):
+        expr = parse("(fun x -> x) 1")
+        decomposition = decompose(expr)
+        assert decomposition.path == ()
+        assert decomposition.redex == expr
+        assert not decomposition.local
+
+    def test_left_to_right_in_application(self):
+        # ((fun x -> x) 1) ((fun y -> y) 2): the redex is the left one.
+        expr = parse("((fun x -> x) 1) ((fun y -> y) 2)")
+        decomposition = decompose(expr)
+        assert decomposition.path == (0,)
+
+    def test_argument_after_function(self):
+        expr = parse("(fun x -> x) ((fun y -> y) 2)")
+        decomposition = decompose(expr)
+        assert decomposition.path == (1,)
+
+    def test_pair_left_first(self):
+        expr = parse("(1 + 1, 2 + 2)")
+        assert decompose(expr).path == (0,)
+
+    def test_pair_right_when_left_is_value(self):
+        expr = parse("(1, 2 + 2)")
+        assert decompose(expr).path == (1,)
+
+    def test_let_bound_position(self):
+        expr = parse("let x = 1 + 1 in x")
+        assert decompose(expr).path == (0,)
+
+    def test_let_with_value_is_head_redex(self):
+        expr = parse("let x = 1 in x")
+        assert decompose(expr).path == ()
+
+    def test_if_condition_position(self):
+        expr = parse("if 1 < 2 then 1 else 2")
+        assert decompose(expr).path == (0,)
+
+    def test_ifat_vector_then_index(self):
+        expr = parse("if mkpar (fun i -> true) at 1 + 1 then x else y")
+        first = decompose(expr)
+        assert first.path == (0,)
+
+    def test_inside_parallel_vector_is_local(self):
+        vec = ParVec((Const(1), App(Fun("x", Var("x")), Const(2))))
+        decomposition = decompose(vec)
+        assert decomposition.path == (1,)
+        assert decomposition.local
+
+    def test_outside_vector_is_global(self):
+        expr = App(Prim("mkpar"), Fun("x", Var("x")))
+        assert not decompose(expr).local
+
+    def test_stuck_leaf_is_the_candidate_redex(self):
+        # A free variable in redex position becomes the candidate redex;
+        # no head rule applies to it, so the step relation is stuck there.
+        decomposition = decompose(App(Var("x"), Const(1)))
+        assert decomposition.path == (0,)
+        assert decomposition.redex == Var("x")
+        from repro.semantics.smallstep import head_reduce, step
+
+        assert head_reduce(decomposition.redex, 2, decomposition.local) is None
+        assert step(App(Var("x"), Const(1)), 2) is None
+
+
+class TestPlug:
+    def test_plug_at_root(self):
+        assert plug(Const(1), (), Const(2)) == Const(2)
+
+    def test_plug_deep(self):
+        expr = parse("(1 + 1, 2)")
+        result = plug(expr, (0,), Const(2))
+        assert result == parse("(2, 2)")
+
+    def test_plug_inverse_of_decompose(self):
+        expr = parse("let x = (fun y -> y) 1 in x + x")
+        decomposition = decompose(expr)
+        rebuilt = plug(expr, decomposition.path, decomposition.redex)
+        assert rebuilt == expr
+
+
+class TestUniqueness:
+    """The decomposition (hence the step relation) is a function."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_unique_decomposition_on_random_programs(self, seed):
+        from repro.semantics.smallstep import step
+
+        expr = ProgramGenerator(seed=seed).expression(depth=4)
+        for _ in range(300):
+            decomposition = decompose(expr)
+            if decomposition is None:
+                break
+            # Everything strictly left of the hole path is a value.
+            self._check_left_of_hole(expr, decomposition.path)
+            reduced = step(expr, 2)
+            if reduced is None:
+                break
+            expr = reduced
+
+    def _check_left_of_hole(self, expr, path):
+        if not path:
+            return
+        index = path[0]
+        children = expr.children()
+        for position in evaluation_positions(expr):
+            if position == index:
+                break
+            assert is_value_syntax(children[position])
+        self._check_left_of_hole(children[index], path[1:])
+
+
+class TestEvaluationPositions:
+    def test_app(self):
+        assert evaluation_positions(App(Var("f"), Var("x"))) == (0, 1)
+
+    def test_let_only_bound(self):
+        assert evaluation_positions(Let("x", Const(1), Var("x"))) == (0,)
+
+    def test_if_only_condition(self):
+        assert evaluation_positions(If(Const(True), Const(1), Const(2))) == (0,)
+
+    def test_values_have_none(self):
+        assert evaluation_positions(Const(1)) == ()
+        assert evaluation_positions(Fun("x", Var("x"))) == ()

@@ -1,0 +1,137 @@
+"""Tests for the local delta-rules (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import NC, App, Const, Fun, Pair, Prim, Var
+from repro.lang.parser import parse_expression as parse
+from repro.semantics.delta import LOCAL_DELTA_PRIMS, delta_local
+from repro.semantics.errors import DivisionByZeroError
+
+
+def pair(a, b):
+    return Pair(Const(a), Const(b))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,a,b,result",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 5, 20),
+            ("/", 7, 2, 3),
+            ("/", -7, 2, -3),  # OCaml truncates toward zero
+            ("mod", 7, 2, 1),
+            ("mod", -7, 2, -1),  # OCaml: sign of the dividend
+        ],
+    )
+    def test_delta(self, op, a, b, result):
+        assert delta_local(op, pair(a, b)) == Const(result)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(DivisionByZeroError):
+            delta_local("/", pair(1, 0))
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(DivisionByZeroError):
+            delta_local("mod", pair(1, 0))
+
+    def test_no_rule_for_non_integer_pair(self):
+        assert delta_local("+", pair(True, False)) is None
+        assert delta_local("+", Const(1)) is None
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,a,b,result",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("<>", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 1, 2, False),
+            (">=", 3, 2, True),
+        ],
+    )
+    def test_delta(self, op, a, b, result):
+        assert delta_local(op, pair(a, b)) == Const(result)
+
+    def test_booleans_are_not_integers(self):
+        # bool payloads must not satisfy integer comparison redexes.
+        assert delta_local("<", pair(True, False)) is None
+
+
+class TestBooleans:
+    @pytest.mark.parametrize(
+        "op,a,b,result",
+        [
+            ("&&", True, True, True),
+            ("&&", True, False, False),
+            ("||", False, False, False),
+            ("||", False, True, True),
+        ],
+    )
+    def test_delta(self, op, a, b, result):
+        assert delta_local(op, pair(a, b)) == Const(result)
+
+    def test_not(self):
+        assert delta_local("not", Const(True)) == Const(False)
+        assert delta_local("not", Const(1)) is None
+
+    def test_integers_are_not_booleans(self):
+        assert delta_local("&&", pair(1, 0)) is None
+
+
+class TestProjections:
+    def test_fst(self):
+        assert delta_local("fst", pair(1, 2)) == Const(1)
+
+    def test_snd(self):
+        assert delta_local("snd", pair(1, 2)) == Const(2)
+
+    def test_projection_needs_value_pair(self):
+        # (x, 2) is not a value: no delta-rule.
+        assert delta_local("fst", Pair(Var("x"), Const(2))) is None
+
+    def test_projection_of_nested_value(self):
+        inner = Pair(Const(1), Const(2))
+        assert delta_local("fst", Pair(inner, Const(3))) == inner
+
+
+class TestFix:
+    def test_unfolding(self):
+        # fix (fun x -> e) -> e[x <- fix (fun x -> e)]
+        loop = Fun("f", Const(1))
+        assert delta_local("fix", loop) == Const(1)
+
+    def test_recursive_unfolding_substitutes(self):
+        body = Fun("f", App(Var("f"), Const(0)))
+        result = delta_local("fix", body)
+        assert result == App(App(Prim("fix"), body), Const(0))
+
+    def test_fix_of_non_function(self):
+        assert delta_local("fix", Const(1)) is None
+
+
+class TestIsnc:
+    def test_isnc_of_nc(self):
+        assert delta_local("isnc", NC) == Const(True)
+
+    def test_isnc_of_other_value(self):
+        assert delta_local("isnc", Const(5)) == Const(False)
+        assert delta_local("isnc", Fun("x", Var("x"))) == Const(False)
+
+    def test_isnc_of_non_value(self):
+        assert delta_local("isnc", Var("x")) is None
+
+
+class TestCoverage:
+    def test_all_local_delta_prims_listed(self):
+        assert {"+", "fst", "snd", "fix", "isnc", "not", "mod"} <= LOCAL_DELTA_PRIMS
+
+    def test_parallel_prims_have_no_local_rule(self):
+        assert "mkpar" not in LOCAL_DELTA_PRIMS
+        assert "put" not in LOCAL_DELTA_PRIMS

@@ -1,0 +1,80 @@
+"""Tests for the shared scalar-operator semantics (primops)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.errors import DivisionByZeroError, EvalError
+from repro.semantics.primops import (
+    ARITHMETIC,
+    BINARY_SCALAR,
+    BOOLEAN,
+    COMPARISON,
+    PARALLEL_PRIMS,
+    apply_binary,
+)
+
+
+class TestTables:
+    def test_no_overlap_between_kinds(self):
+        assert not set(ARITHMETIC) & set(COMPARISON)
+        assert not set(ARITHMETIC) & set(BOOLEAN)
+        assert not set(COMPARISON) & set(BOOLEAN)
+
+    def test_binary_scalar_is_the_union(self):
+        assert set(BINARY_SCALAR) == set(ARITHMETIC) | set(COMPARISON) | set(BOOLEAN)
+
+    def test_parallel_prims(self):
+        assert PARALLEL_PRIMS == {"mkpar", "apply", "put"}
+
+
+class TestOcamlArithmetic:
+    """Division and modulo follow OCaml (truncation toward zero)."""
+
+    @pytest.mark.parametrize(
+        "a,b,quotient,remainder",
+        [
+            (7, 2, 3, 1),
+            (-7, 2, -3, -1),
+            (7, -2, -3, 1),
+            (-7, -2, 3, -1),
+            (6, 3, 2, 0),
+        ],
+    )
+    def test_div_mod(self, a, b, quotient, remainder):
+        assert ARITHMETIC["/"](a, b) == quotient
+        assert ARITHMETIC["mod"](a, b) == remainder
+
+    def test_div_mod_identity(self):
+        for a in range(-20, 21):
+            for b in (-7, -3, 2, 5):
+                assert ARITHMETIC["/"](a, b) * b + ARITHMETIC["mod"](a, b) == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(DivisionByZeroError):
+            ARITHMETIC["/"](1, 0)
+        with pytest.raises(DivisionByZeroError):
+            ARITHMETIC["mod"](1, 0)
+
+
+class TestApplyBinary:
+    def test_arithmetic(self):
+        assert apply_binary("+", 2, 3) == 5
+
+    def test_comparison(self):
+        assert apply_binary("<", 1, 2) is True
+
+    def test_boolean(self):
+        assert apply_binary("&&", True, False) is False
+
+    def test_rejects_bool_as_int(self):
+        with pytest.raises(EvalError, match="expects integers"):
+            apply_binary("+", True, 1)
+
+    def test_rejects_int_as_bool(self):
+        with pytest.raises(EvalError, match="expects booleans"):
+            apply_binary("||", 1, 0)
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvalError, match="unknown binary"):
+            apply_binary("**", 1, 2)

@@ -1,0 +1,168 @@
+"""Tests for the small-step machine: the relation ->* of section 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import Const, ParVec, is_value_syntax
+from repro.lang.parser import parse_expression as parse, parse_program
+from repro.lang.prelude import with_prelude
+from repro.semantics.errors import StepLimitExceeded, StuckError
+from repro.semantics.smallstep import (
+    diagnose,
+    evaluate,
+    is_dynamic_nesting,
+    step,
+    step_count,
+    trace,
+)
+
+
+def run(source: str, p: int = 2):
+    return evaluate(with_prelude(parse_program(source)), p)
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        assert run("1 + 2 * 3") == Const(7)
+
+    def test_beta(self):
+        assert run("(fun x -> x * x) 6") == Const(36)
+
+    def test_let(self):
+        assert run("let x = 3 in x + x") == Const(6)
+
+    def test_if(self):
+        assert run("if 1 < 2 then 10 else 20") == Const(10)
+
+    def test_shadowing(self):
+        assert run("let x = 1 in let x = x + 1 in x") == Const(2)
+
+    def test_factorial(self):
+        source = "(fix (fun f -> fun n -> if n = 0 then 1 else n * f (n - 1))) 5"
+        assert run(source) == Const(120)
+
+    def test_mutual_style_recursion_via_pair(self):
+        source = """
+            let even = fix (fun even -> fun n ->
+                if n = 0 then true else
+                if n = 1 then false else even (n - 2)) in
+            (even 10, even 7)
+        """
+        result = run(source)
+        assert result == parse("(true, false)")
+
+
+class TestParallel:
+    def test_mkpar(self):
+        assert run("mkpar (fun i -> i * 2)", p=3) == ParVec(
+            (Const(0), Const(2), Const(4))
+        )
+
+    def test_apply(self):
+        result = run(
+            "apply (mkpar (fun i -> fun x -> x - i), mkpar (fun i -> 10))", p=3
+        )
+        assert result == ParVec((Const(10), Const(9), Const(8)))
+
+    def test_ifat(self):
+        source = (
+            "if mkpar (fun i -> i = 1) at 1 then mkpar (fun i -> 1)"
+            " else mkpar (fun i -> 0)"
+        )
+        assert run(source, p=2) == ParVec((Const(1), Const(1)))
+
+    def test_nproc(self):
+        assert run("mkpar (fun i -> nproc)", p=3) == ParVec(
+            (Const(3), Const(3), Const(3))
+        )
+
+    def test_bcast(self):
+        assert run("bcast 1 (mkpar (fun i -> i * 7))", p=3) == ParVec(
+            (Const(7), Const(7), Const(7))
+        )
+
+    def test_semantics_depends_on_p(self):
+        source = "fold (fun ab -> fst ab + snd ab) (mkpar (fun i -> 1))"
+        assert run(source, p=2).items[0] == Const(2)
+        assert run(source, p=5).items[0] == Const(5)
+
+
+class TestStepRelation:
+    def test_step_of_value_is_none(self):
+        assert step(Const(1), 2) is None
+        assert step(parse("fun x -> x"), 2) is None
+
+    def test_step_is_deterministic_function(self):
+        expr = parse("(1 + 2, 3 + 4)")
+        assert step(expr, 2) == step(expr, 2)
+
+    def test_trace_includes_endpoints(self):
+        states = list(trace(parse("1 + 2"), 2))
+        assert states[0] == parse("1 + 2")
+        assert states[-1] == Const(3)
+
+    def test_step_count(self):
+        assert step_count(Const(1), 2) == 0
+        assert step_count(parse("1 + 2"), 2) == 1
+
+    def test_every_trace_state_but_last_is_not_a_value(self):
+        states = list(trace(parse("(fun x -> x + 1) (2 * 3)"), 2))
+        for state in states[:-1]:
+            assert not is_value_syntax(state)
+        assert is_value_syntax(states[-1])
+
+
+class TestStuckness:
+    def test_free_variable(self):
+        with pytest.raises(StuckError, match="free variable"):
+            evaluate(parse("x + 1"), 2)
+
+    def test_apply_non_function(self):
+        with pytest.raises(StuckError, match="cannot apply"):
+            evaluate(parse("1 2"), 2)
+
+    def test_if_non_bool(self):
+        with pytest.raises(StuckError, match="non-boolean"):
+            evaluate(parse("if 1 then 2 else 3"), 2)
+
+    def test_dynamic_nesting_mkpar(self):
+        expr = parse("mkpar (fun pid -> mkpar (fun i -> i))")
+        with pytest.raises(StuckError, match="dynamic nesting"):
+            evaluate(expr, 2)
+        assert is_dynamic_nesting(expr, 2)
+
+    def test_dynamic_nesting_example2(self):
+        expr = parse("mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)")
+        assert is_dynamic_nesting(expr, 2)
+
+    def test_dynamic_nesting_put(self):
+        expr = parse("mkpar (fun pid -> put (mkpar (fun i -> fun d -> i)))")
+        assert is_dynamic_nesting(expr, 2)
+
+    def test_ifat_out_of_range(self):
+        expr = parse(
+            "if mkpar (fun i -> true) at 9 then mkpar (fun i -> 1)"
+            " else mkpar (fun i -> 0)"
+        )
+        with pytest.raises(StuckError):
+            evaluate(expr, 2)
+
+    def test_well_typed_programs_are_not_nesting(self):
+        assert not is_dynamic_nesting(parse("mkpar (fun i -> i)"), 2)
+
+    def test_diagnose_mentions_the_culprit(self):
+        message = diagnose(parse("zz"), 2)
+        assert "zz" in message
+
+
+class TestFuel:
+    def test_divergence_hits_step_limit(self):
+        omega = parse("(fix (fun f -> fun x -> f x)) 0")
+        with pytest.raises(StepLimitExceeded):
+            evaluate(omega, 1, max_steps=2_000)
+
+    def test_trace_respects_limit(self):
+        omega = parse("(fix (fun f -> fun x -> f x)) 0")
+        with pytest.raises(StepLimitExceeded):
+            list(trace(omega, 1, max_steps=500))

@@ -1,0 +1,120 @@
+"""Tests for runtime values: sizes (words), reification, projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.ast import NC, UNIT, Const, Fun, Var
+from repro.lang.parser import parse_expression as parse
+from repro.lang.substitution import alpha_equal
+from repro.semantics.bigstep import run
+from repro.semantics.errors import EvalError
+from repro.semantics.values import (
+    NC_VALUE,
+    VClosure,
+    VDelivered,
+    VPair,
+    VParVec,
+    VPrim,
+    VTuple,
+    is_global_value,
+    reify,
+    to_python,
+    words,
+)
+
+
+class TestWords:
+    def test_scalars_weigh_one(self):
+        assert words(5) == 1
+        assert words(True) == 1
+        assert words(UNIT) == 1
+        assert words(NC_VALUE) == 1
+
+    def test_pair_is_additive(self):
+        assert words(VPair(1, VPair(2, 3))) == 3
+
+    def test_tuple(self):
+        assert words(VTuple((1, 2, 3, 4))) == 4
+
+    def test_closure_counts_body_and_captures(self):
+        closure = run(parse("let y = (1, 2) in fun x -> y"), 1)
+        # 1 + body size (Var y = 1 node) + captured pair (2 words)
+        assert words(closure) == 4
+
+    def test_closure_without_captures(self):
+        closure = run(parse("fun x -> x"), 1)
+        assert words(closure) == 2
+
+    def test_delivered_sums_messages(self):
+        assert words(VDelivered((1, NC_VALUE, VPair(1, 2)))) == 4
+
+    def test_parallel_vector_has_no_size(self):
+        with pytest.raises(EvalError):
+            words(VParVec((1, 2)))
+
+
+class TestReify:
+    def test_scalars(self):
+        assert reify(3) == Const(3)
+        assert reify(False) == Const(False)
+        assert reify(UNIT) == Const(UNIT)
+        assert reify(NC_VALUE) == NC
+
+    def test_prim(self):
+        from repro.lang.ast import Prim
+
+        assert reify(VPrim("fst")) == Prim("fst")
+
+    def test_pair(self):
+        assert reify(VPair(1, 2)) == parse("(1, 2)")
+
+    def test_vector(self):
+        from repro.lang.ast import ParVec
+
+        assert reify(VParVec((1, 2))) == ParVec((Const(1), Const(2)))
+
+    def test_closure_substitutes_environment(self):
+        closure = run(parse("let k = 5 in fun x -> x + k"), 1)
+        assert alpha_equal(reify(closure), parse("fun x -> x + 5"))
+
+    def test_closure_shadowed_param_not_substituted(self):
+        closure = run(parse("let x = 5 in fun x -> x"), 1)
+        assert alpha_equal(reify(closure), parse("fun x -> x"))
+
+    def test_recursive_closure_raises(self):
+        recursive = run(parse("fix (fun f -> fun n -> f n)"), 1)
+        with pytest.raises(EvalError, match="recursive"):
+            reify(recursive)
+
+    def test_delivered_reifies_to_figure2_shape(self):
+        value = VDelivered((7, NC_VALUE))
+        expected = parse("fun x -> if x = 0 then 7 else if x = 1 then nc () else nc ()")
+        assert alpha_equal(reify(value), expected)
+
+
+class TestToPython:
+    def test_ground(self):
+        assert to_python(VPair(1, VPair(True, UNIT))) == (1, (True, ()))
+
+    def test_nc_is_none(self):
+        assert to_python(NC_VALUE) is None
+
+    def test_vector_is_list(self):
+        assert to_python(VParVec((1, 2, 3))) == [1, 2, 3]
+
+    def test_functions_pass_through(self):
+        closure = run(parse("fun x -> x"), 1)
+        assert to_python(closure) is closure
+
+
+class TestGlobality:
+    def test_vector_is_global(self):
+        assert is_global_value(VParVec((1,)))
+
+    def test_pair_containing_vector(self):
+        assert is_global_value(VPair(1, VParVec((1,))))
+
+    def test_scalars_are_local(self):
+        assert not is_global_value(42)
+        assert not is_global_value(VPair(1, 2))

@@ -1,0 +1,121 @@
+"""Tests for the random program generator itself (the test infrastructure
+that backs the Theorem 1 experiments deserves its own tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.infer import infer, typechecks
+from repro.core.types import TPar, render_type
+from repro.core.unify import unifiable
+from repro.lang.ast import Expr, IfAt, ParVec, Prim
+from repro.lang.substitution import free_vars
+from repro.testing.generators import (
+    CORPUS_GLOBAL,
+    CORPUS_LOCAL,
+    CORPUS_REJECTED,
+    ProgramGenerator,
+    unsafe_corpus,
+    well_typed_corpus,
+)
+
+
+class TestCuratedCorpora:
+    def test_corpora_are_nonempty(self):
+        assert len(CORPUS_LOCAL) >= 10
+        assert len(CORPUS_GLOBAL) >= 10
+        assert len(CORPUS_REJECTED) >= 8
+
+    def test_well_typed_corpus_is_the_union(self):
+        assert len(well_typed_corpus()) == len(CORPUS_LOCAL) + len(CORPUS_GLOBAL)
+
+    def test_unsafe_corpus_is_rejected(self):
+        assert unsafe_corpus() == list(CORPUS_REJECTED)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = ProgramGenerator(seed=7).expression(depth=4)
+        b = ProgramGenerator(seed=7).expression(depth=4)
+        assert a == b
+
+    def test_different_seeds_differ_somewhere(self):
+        programs = {ProgramGenerator(seed=s).expression(depth=4) for s in range(20)}
+        assert len(programs) > 10
+
+
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_closed(self, seed):
+        expr = ProgramGenerator(seed=seed).expression(depth=4)
+        assert free_vars(expr) == frozenset()
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_well_typed(self, seed):
+        expr = ProgramGenerator(seed=seed).expression(depth=4)
+        assert typechecks(expr)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_of_type_hits_the_target(self, seed):
+        generator = ProgramGenerator(seed=seed)
+        target = generator.random_type()
+        expr = generator.of_type(target, depth=4)
+        assert unifiable(infer(expr).type, target), render_type(target)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_no_fix_no_division(self, seed):
+        expr = ProgramGenerator(seed=seed).expression(depth=5)
+        for node in expr.walk():
+            if isinstance(node, Prim):
+                assert node.name not in ("fix", "/"), "termination unsafe"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_ifat_indices_respect_p_hint(self, seed):
+        generator = ProgramGenerator(seed=seed, p_hint=2)
+        expr = generator.expression(depth=5)
+        for node in expr.walk():
+            if isinstance(node, IfAt):
+                assert node.proc.value < 2
+
+    def test_local_context_never_holds_vectors(self):
+        # Generate many parallel programs and check no mkpar body contains
+        # a parallel construct (the generator's locality discipline).
+        from repro.lang.ast import App, Fun
+
+        for seed in range(30):
+            expr = ProgramGenerator(seed=seed).of_type(TPar(list(ProgramGenerator.LOCAL_GROUND)[0]), depth=4)
+            for node in expr.walk():
+                if (
+                    isinstance(node, App)
+                    and isinstance(node.fn, Prim)
+                    and node.fn.name == "mkpar"
+                    and isinstance(node.arg, Fun)
+                ):
+                    for inner in node.arg.body.walk():
+                        if isinstance(inner, Prim):
+                            assert inner.name not in ("mkpar", "apply", "put")
+
+
+class TestMutants:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_mutants_are_closed(self, seed):
+        expr = ProgramGenerator(seed=seed).mutate_to_nesting(depth=3)
+        assert free_vars(expr) == frozenset()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_mutants_are_ill_typed(self, seed):
+        expr = ProgramGenerator(seed=seed).mutate_to_nesting(depth=3)
+        assert not typechecks(expr)
+
+    def test_mutant_shapes_cycle(self):
+        from repro.lang.ast import App
+
+        heads = set()
+        for seed in range(30):
+            expr = ProgramGenerator(seed=seed).mutate_to_nesting(depth=2)
+            assert isinstance(expr, App)
+            if isinstance(expr.fn, Prim):
+                heads.add(expr.fn.name)
+        # Both the mkpar-wrapped (example1/example2) and the fst-wrapped
+        # (fourth projection) shapes occur.
+        assert {"mkpar", "fst"} <= heads
