@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI guard: the tier-1 test suite plus the solver-cache speedup bench.
+#
+# Run from the repository root:
+#
+#     sh benchmarks/run_guard.sh
+#
+# Fails (non-zero exit) if any tier-1 test fails or if the memoization
+# layer no longer delivers the required >= 2x cold-vs-warm speedup.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== solver-cache speedup guard =="
+python -m pytest benchmarks/bench_solver_cache.py -q --benchmark-disable

@@ -39,7 +39,7 @@ from repro.bsml.predictions import (
     cost_shift,
     cost_totex,
 )
-from repro.bsml.primitives import Bsml, ParVector
+from repro.bsml.primitives import NO_MESSAGE, Bsml, ParVector
 from repro.bsml.sizes import words_of
 from repro.bsml.stdlib import (
     applyat,
@@ -62,6 +62,7 @@ __all__ = [
     "Bsml",
     "BsmlError",
     "ForeignVectorError",
+    "NO_MESSAGE",
     "NestingViolation",
     "ParVector",
     "VectorWidthError",

@@ -17,6 +17,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Callable, List, Sequence
 
+from repro.bsp.machine import NO_MESSAGE
 from repro.bsml.primitives import Bsml, ParVector
 from repro.bsml.stdlib import bcast_direct, fold, parfun, parfun2, scan, totex
 
@@ -111,7 +112,7 @@ def sample_sort(ctx: Bsml, blocks: ParVector, oversampling: int = 8) -> ParVecto
 
         def sender(dst: int) -> Any:
             bucket = ordered[bounds[dst] : bounds[dst + 1]]
-            return bucket if bucket else None
+            return bucket if bucket else NO_MESSAGE
 
         return sender
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
+from repro.bsp.machine import NO_MESSAGE
 from repro.bsml.primitives import Bsml, ParVector
 from repro.bsml.stdlib import fold, parfun, parfun2
 
@@ -104,7 +105,7 @@ def bfs(ctx: Bsml, n: int, graph: ParVector, root: int) -> ParVector:
 
             def sender(dst: int):
                 batch = outgoing.get(dst)
-                return sorted(batch) if batch else None
+                return sorted(batch) if batch else NO_MESSAGE
 
             return sender
 
@@ -169,7 +170,7 @@ def connected_components(ctx: Bsml, n: int, graph: ParVector) -> ParVector:
 
             def sender(dst: int):
                 batch = outgoing.get(dst)
-                return batch if batch else None
+                return batch if batch else NO_MESSAGE
 
             return sender
 

@@ -5,13 +5,21 @@ Mirrors the OCaml library's interface (section 2 of the paper)::
     bsp_p : unit -> int                     ->  Bsml.p
     mkpar : (int -> 'a) -> 'a par           ->  Bsml.mkpar(f)
     apply : ('a -> 'b) par -> 'a par -> 'b par -> Bsml.apply(fv, xv)
-    put   : (int -> 'a option) par -> ...   ->  Bsml.put(fv)   (None = no msg)
+    put   : (int -> 'a option) par -> ...   ->  Bsml.put(fv)
     at    : bool par -> int -> bool         ->  Bsml.at(bv, n)
 
 with BSP cost accounting per operation and *runtime* rejection of nested
 parallel vectors — the invariant the paper's type system guarantees
 statically for (mini-)BSML, enforced dynamically in this dynamically
 typed host (documented substitution; see DESIGN.md).
+
+OCaml's ``'a option`` distinguishes ``None`` from ``Some None``-like
+payloads for free; the Python wrapper uses the distinct
+:data:`NO_MESSAGE` sentinel for "no message" (the mini-BSML ``nc ()``),
+so ``None`` itself is an ordinary transmissible value.  Sender functions
+passed to :meth:`Bsml.put` return :data:`NO_MESSAGE` for destinations
+they do not message; the delivered function likewise returns
+:data:`NO_MESSAGE` (which is falsy) for sources that sent nothing.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.bsp.cost import BspCost
-from repro.bsp.machine import BspMachine
+from repro.bsp.machine import NO_MESSAGE, BspMachine
 from repro.bsp.params import BspParams
 from repro.bsml.errors import ForeignVectorError, NestingViolation, VectorWidthError
 from repro.bsml.sizes import words_of
@@ -143,10 +151,16 @@ class Bsml:
         """``put fv``: global communication, ends the superstep.
 
         ``senders[j]`` maps each destination pid to the value to send, or
-        ``None`` for no message.  The result holds, on each process ``i``,
-        a function from source pid to the delivered value (or ``None``) —
-        exactly the paper's semantics, with the h-relation and the barrier
-        accounted on the machine.
+        :data:`NO_MESSAGE` for no message (``nc ()``).  The result holds,
+        on each process ``i``, a function from source pid to the delivered
+        value (or :data:`NO_MESSAGE`) — exactly the paper's semantics,
+        with the h-relation and the barrier accounted on the machine.
+
+        A transmitted ``None`` is a real one-word value, distinct from
+        "no message".  Remote payloads are routed through the machine's
+        mailboxes, so the exchange validates that every delivered value
+        is accounted in the traffic matrix; self-sends stay local (the
+        h-relation ignores the diagonal) and are delivered directly.
         """
         self._own(senders)
         p = self.p
@@ -157,11 +171,14 @@ class Bsml:
                 self.machine.local(j, 1.0)
                 row.append(senders[j](i))
             outgoing.append(row)
-        sent = [
-            [0 if outgoing[j][i] is None else words_of(outgoing[j][i]) for i in range(p)]
+        sent = [[words_of(outgoing[j][i]) for i in range(p)] for j in range(p)]
+        payloads = {
+            (j, i): outgoing[j][i]
             for j in range(p)
-        ]
-        self.machine.exchange(sent, label="put")
+            for i in range(p)
+            if j != i and outgoing[j][i] is not NO_MESSAGE
+        }
+        self.machine.exchange(sent, payloads=payloads, label="put")
         deliveries = tuple(
             _Delivered(tuple(outgoing[j][i] for j in range(p))) for i in range(p)
         )
@@ -208,7 +225,12 @@ class Bsml:
 
 
 class _Delivered:
-    """The function of delivered messages ``put`` leaves on a process."""
+    """The function of delivered messages ``put`` leaves on a process.
+
+    Sources that sent nothing — and out-of-range source pids — yield
+    :data:`NO_MESSAGE`, never ``None``, so a transmitted ``None`` payload
+    is observable as such.
+    """
 
     __slots__ = ("_messages",)
 
@@ -218,7 +240,7 @@ class _Delivered:
     def __call__(self, source: int) -> Any:
         if 0 <= source < len(self._messages):
             return self._messages[source]
-        return None
+        return NO_MESSAGE
 
     def __repr__(self) -> str:
         return f"<delivered {list(self._messages)!r}>"

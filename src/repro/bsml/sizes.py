@@ -4,7 +4,9 @@ The BSP cost of a communication phase depends on the number of *words*
 moved; this module fixes a deterministic serialization model for the
 Python values user code sends through ``put``:
 
-* ``None`` is "no message" — it is never transmitted (size 0);
+* :data:`~repro.bsp.machine.NO_MESSAGE` is "no message" — it is never
+  transmitted (size 0);
+* ``None`` is an ordinary (unit-like) transmissible value of one word;
 * booleans, integers and floats weigh one word;
 * strings and bytes weigh one word per 8 characters/bytes (rounded up);
 * lists, tuples, sets and dicts weigh the sum of their elements plus one
@@ -20,14 +22,22 @@ from __future__ import annotations
 import math
 from typing import Any
 
+from repro.bsp.machine import NO_MESSAGE
+
 #: Bytes per machine word in the size model.
 WORD_BYTES = 8
 
 
 def words_of(value: Any) -> int:
-    """The communication size of ``value`` in words (None weighs 0)."""
-    if value is None:
+    """The communication size of ``value`` in words.
+
+    :data:`NO_MESSAGE` weighs 0 (nothing is transmitted); ``None`` is a
+    real unit-like value and weighs one word like other scalars.
+    """
+    if value is NO_MESSAGE:
         return 0
+    if value is None:
+        return 1
     if isinstance(value, bool):
         return 1
     if isinstance(value, (int, float)):

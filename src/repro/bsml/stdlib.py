@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Sequence
 
+from repro.bsp.machine import NO_MESSAGE
 from repro.bsml.primitives import Bsml, ParVector
 
 
@@ -50,7 +51,9 @@ def bcast_direct(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
     ``bcast`` (section 2.1), one superstep with ``h = (p-1) * s``:
     cost ``p + (p-1)*s*g + l`` (formula (1))."""
     senders = ctx.apply(
-        ctx.mkpar(lambda i: (lambda v: (lambda dst: v if i == root else None))),
+        ctx.mkpar(
+            lambda i: (lambda v: (lambda dst: v if i == root else NO_MESSAGE))
+        ),
         vector,
     )
     delivered = ctx.put(senders)
@@ -77,7 +80,9 @@ def bcast_two_phase(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
     scatter_senders = ctx.apply(
         ctx.mkpar(
             lambda i: (
-                lambda v: (lambda dst: list(cuts(v)[dst]) if i == root else None)
+                lambda v: (
+                    lambda dst: list(cuts(v)[dst]) if i == root else NO_MESSAGE
+                )
             )
         ),
         vector,
@@ -103,7 +108,9 @@ def shift(ctx: Bsml, distance: int, vector: ParVector) -> ParVector:
     d = distance % p
     senders = ctx.apply(
         ctx.mkpar(
-            lambda i: (lambda v: (lambda dst: v if dst == (i + d) % p else None))
+            lambda i: (
+                lambda v: (lambda dst: v if dst == (i + d) % p else NO_MESSAGE)
+            )
         ),
         vector,
     )
@@ -123,7 +130,9 @@ def scan(ctx: Bsml, op: Callable[[Any, Any], Any], vector: ParVector) -> ParVect
         s = stride  # bind for the closures below
         senders = ctx.apply(
             ctx.mkpar(
-                lambda i: (lambda v: (lambda dst: v if dst == i + s else None))
+                lambda i: (
+                    lambda v: (lambda dst: v if dst == i + s else NO_MESSAGE)
+                )
             ),
             current,
         )
@@ -195,7 +204,9 @@ def proj(ctx: Bsml, vector: ParVector) -> Callable[[int], Any]:
 def gather_to(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
     """All components to ``root`` (a list there, None elsewhere)."""
     senders = ctx.apply(
-        ctx.mkpar(lambda i: (lambda v: (lambda dst: v if dst == root else None))),
+        ctx.mkpar(
+            lambda i: (lambda v: (lambda dst: v if dst == root else NO_MESSAGE))
+        ),
         vector,
     )
     delivered = ctx.put(senders)
@@ -221,7 +232,9 @@ def scatter_from(ctx: Bsml, root: int, vector: ParVector) -> ParVector:
     senders = ctx.apply(
         ctx.mkpar(
             lambda i: (
-                lambda v: (lambda dst: list(cuts(v)[dst]) if i == root else None)
+                lambda v: (
+                    lambda dst: list(cuts(v)[dst]) if i == root else NO_MESSAGE
+                )
             )
         ),
         vector,

@@ -14,6 +14,7 @@ program; both know how to evaluate themselves against a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -76,9 +77,15 @@ class BspCost:
         return self.W + self.H * params.g + self.S * params.l
 
     def check_decomposition(self, params: BspParams) -> bool:
-        """Consistency: summing per-superstep times equals the formula."""
+        """Consistency: summing per-superstep times equals the formula.
+
+        The two sums associate floating-point additions differently, so
+        the comparison must be *relative*: an absolute ``1e-9`` tolerance
+        spuriously fails once ``W``/``H`` totals grow past ~1e7, where a
+        single rounding step already exceeds it.
+        """
         by_steps = sum(step.time(params) for step in self.supersteps)
-        return abs(by_steps - self.total(params)) < 1e-9
+        return math.isclose(by_steps, self.total(params), rel_tol=1e-9, abs_tol=1e-9)
 
     def render(self, params: Optional[BspParams] = None) -> str:
         """A human-readable superstep table."""

@@ -17,9 +17,37 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.bsp.cost import BspCost, SuperstepCost
 from repro.bsp.network import HRelation, h_relation_of_matrix
 from repro.bsp.params import BspParams
+
+
+class _NoMessage:
+    """Singleton marker for "no message was delivered".
+
+    Distinct from every user value — in particular from a transmitted
+    ``None`` — so :meth:`BspMachine.receive` never conflates "the mailbox
+    is empty" with "the sender sent the value ``None``" (the BSML
+    ``nc ()`` versus a sent value).  Falsy, like the absence it denotes.
+    """
+
+    _instance: Optional["_NoMessage"] = None
+
+    def __new__(cls) -> "_NoMessage":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NO_MESSAGE"
+
+
+#: The unique "mailbox empty" marker.
+NO_MESSAGE = _NoMessage()
 
 
 class BspMachine:
@@ -63,8 +91,31 @@ class BspMachine:
         process ``j`` (diagonal ignored).  ``payloads`` optionally carries
         the actual values; they become readable via :meth:`receive` during
         the next superstep, which is how the BSML ``put`` is built.
+
+        Every payload key must be accounted in the traffic matrix:
+        endpoints are range-checked, diagonal self-sends are rejected
+        (the h-relation ignores the diagonal, so delivering them would
+        undercount communication), and a payload for a ``(src, dst)``
+        pair whose matrix entry is zero raises :class:`ValueError` — cost
+        accounting can never miss traffic that was actually delivered.
         """
         relation = h_relation_of_matrix(sent_words)
+        if payloads:
+            for src, dst in payloads:
+                if not (0 <= src < self.p and 0 <= dst < self.p):
+                    raise ValueError(
+                        f"payload endpoints ({src}, {dst}) out of range (p = {self.p})"
+                    )
+                if src == dst:
+                    raise ValueError(
+                        f"payload ({src}, {dst}) is a diagonal self-send: the "
+                        "h-relation does not account it; keep local data local"
+                    )
+                if sent_words[src][dst] == 0:
+                    raise ValueError(
+                        f"payload for ({src}, {dst}) but the traffic matrix "
+                        "records 0 words sent — unaccounted communication"
+                    )
         self._mailboxes = [dict() for _ in range(self.p)]
         if payloads:
             for (src, dst), value in payloads.items():
@@ -78,8 +129,18 @@ class BspMachine:
 
     def receive(self, proc: int, source: int):
         """The payload ``source`` sent to ``proc`` in the last exchange,
-        or None when nothing was sent (the BSML ``None``/``nc ()``)."""
-        return self._mailboxes[proc].get(source)
+        or :data:`NO_MESSAGE` when nothing was sent.
+
+        A transmitted ``None`` is a real value and is returned as such;
+        only the distinct :data:`NO_MESSAGE` sentinel means "no message"
+        (use :meth:`has_message` for the boolean question).
+        """
+        return self._mailboxes[proc].get(source, NO_MESSAGE)
+
+    def has_message(self, proc: int, source: int) -> bool:
+        """True when ``source`` delivered a payload to ``proc`` in the
+        last exchange — even if that payload was ``None``."""
+        return source in self._mailboxes[proc]
 
     # -- results --------------------------------------------------------------
 
@@ -88,6 +149,9 @@ class BspMachine:
             SuperstepCost(tuple(self._work), relation, synchronized=True, label=label)
         )
         self._work = [0.0] * self.p
+        if perf.is_collecting():
+            perf.increment("bsp.supersteps")
+            perf.increment("bsp.words_exchanged", relation.total_words)
 
     def cost(self) -> BspCost:
         """The cost so far, including any unfinished local-only phase."""

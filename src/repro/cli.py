@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro import run_program, typecheck_scheme
+from repro import perf, run_program, typecheck_scheme
 from repro.core import TypingError, explain as explain_expr
 from repro.lang import ParseError, parse_program, pretty, with_prelude
 from repro.lang.errors import ReproError
@@ -40,6 +40,11 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-prelude",
         action="store_true",
         help="do not wrap the program in the standard prelude",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print perf counters and cache hit rates to stderr",
     )
 
 
@@ -145,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
     repl.add_argument("-p", type=int, default=4, help="number of processes")
     repl.add_argument("-g", type=float, default=1.0, help="BSP g parameter")
     repl.add_argument("-l", type=float, default=20.0, help="BSP l parameter")
+    repl.add_argument(
+        "--stats",
+        action="store_true",
+        help="print perf counters and cache hit rates at exit (also :stats)",
+    )
     repl.set_defaults(handler=_command_repl)
 
     return parser
@@ -154,14 +164,25 @@ def _command_repl(args: argparse.Namespace) -> int:
     from repro.bsp.params import BspParams
     from repro.repl import run_repl
 
-    return run_repl(params=BspParams(p=args.p, g=args.g, l=args.l))
+    return run_repl(
+        params=BspParams(p=args.p, g=args.g, l=args.l),
+        stats_at_exit=args.stats,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The REPL manages its own session-long window (and the :stats command).
+    wants_stats = getattr(args, "stats", False) and args.command != "repl"
+    stats_context = perf.collect() if wants_stats else None
     try:
-        return args.handler(args)
+        if stats_context is None:
+            return args.handler(args)
+        with stats_context as stats:
+            status = args.handler(args)
+        print(stats.render(), file=sys.stderr)
+        return status
     except ParseError as error:
         print(f"syntax error: {error}", file=sys.stderr)
         return 2

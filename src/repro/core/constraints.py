@@ -24,13 +24,24 @@ Atoms only ever mention type *variables*: the locality of a compound type
 is pushed to its variables with :func:`locality` (the paper's ``L(tau)``
 rules), so substituting a type for a variable rewrites the atom into the
 image's locality formula.
+
+Performance layer (see DESIGN.md): constraint nodes are **hash-consed**
+with the same metaclass as types, so equality is pointer-fast and the
+conjunction sets of :func:`conj` dedupe by identity.  On top of that,
+:func:`solve`, :func:`is_satisfiable`, :func:`is_valid`,
+:func:`locality` and :func:`basic_constraint` are memoized in bounded LRU
+caches keyed on interned nodes — all nodes are immutable, so the caches
+need no invalidation, ever.  The caches register themselves with
+:mod:`repro.perf` for hit-rate reporting (``--stats``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Tuple
 
+from repro import perf
 from repro.core.types import (
     TArrow,
     TBase,
@@ -41,35 +52,44 @@ from repro.core.types import (
     TTuple,
     TVar,
     Type,
+    _InternMeta,
 )
 
+#: Bound on each solver-layer memoization cache (entries, not bytes).
+SOLVER_CACHE_SIZE = 65536
 
-@dataclass(frozen=True)
-class Constraint:
-    """Base class of locality constraints."""
+
+@dataclass(frozen=True, eq=False)
+class Constraint(metaclass=_InternMeta):
+    """Base class of locality constraints.
+
+    Instances are interned: ``==`` and ``hash`` are identity-based, which
+    coincides with structural equality because every construction path
+    yields the pooled representative (see :class:`_InternMeta`).
+    """
 
     def __str__(self) -> str:
         return render_constraint(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CTrue(Constraint):
     """The always-satisfied constraint."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CFalse(Constraint):
     """The never-satisfied constraint."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CLoc(Constraint):
     """The atom ``L(alpha)``: variable ``alpha`` must be a local type."""
 
     var: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CAnd(Constraint):
     """A conjunction of two or more distinct constraints.
 
@@ -85,7 +105,7 @@ class CAnd(Constraint):
             raise ValueError("CAnd needs >= 2 conjuncts; use conj()")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CImp(Constraint):
     """An implication ``antecedent => consequent``."""
 
@@ -143,6 +163,7 @@ def imp(antecedent: Constraint, consequent: Constraint) -> Constraint:
 # -- locality of a type ---------------------------------------------------
 
 
+@lru_cache(maxsize=SOLVER_CACHE_SIZE)
 def locality(ty: Type) -> Constraint:
     """The paper's ``L(tau)`` as a constraint over the variables of ``tau``.
 
@@ -151,6 +172,9 @@ def locality(ty: Type) -> Constraint:
     * ``L(tau par) = False``
     * ``L(tau1 -> tau2) = L(tau1) /\\ L(tau2)``
     * ``L(tau1 * tau2) = L(tau1) /\\ L(tau2)`` (tuples pointwise)
+
+    Memoized on the interned type node; recursive calls share the cache,
+    so shared subterms are computed once per process lifetime.
     """
     if isinstance(ty, TBase):
         return TRUE
@@ -173,8 +197,9 @@ def locality(ty: Type) -> Constraint:
     raise TypeError(f"locality: unknown type node {type(ty).__name__}")
 
 
+@lru_cache(maxsize=SOLVER_CACHE_SIZE)
 def basic_constraint(ty: Type) -> Constraint:
-    """The paper's basic constraints ``C_tau``.
+    """The paper's basic constraints ``C_tau``.  Memoized like :func:`locality`.
 
     * ``C_tau = True`` when ``tau`` is atomic (a base type or a variable)
     * ``C_(tau par) = L(tau) /\\ C_tau`` — vector contents must be local
@@ -388,12 +413,13 @@ def is_satisfiable_branching(constraint: Constraint) -> bool:
     ) or is_satisfiable_branching(assign(constraint, atom, False))
 
 
+@lru_cache(maxsize=SOLVER_CACHE_SIZE)
 def is_satisfiable(constraint: Constraint) -> bool:
     """True when some locality assignment of the atoms makes ``C`` hold.
 
     Uses linear-time Horn propagation when the constraint has Horn shape
     (every constraint the inference rules produce does) and falls back to
-    complete branching otherwise.
+    complete branching otherwise.  Memoized on the interned node.
     """
     constraint = simplify(constraint)
     if isinstance(constraint, CTrue):
@@ -412,8 +438,9 @@ def is_unsatisfiable(constraint: Constraint) -> bool:
     return not is_satisfiable(constraint)
 
 
+@lru_cache(maxsize=SOLVER_CACHE_SIZE)
 def is_valid(constraint: Constraint) -> bool:
-    """True when every locality assignment satisfies ``C``."""
+    """True when every locality assignment satisfies ``C``.  Memoized."""
     constraint = simplify(constraint)
     if isinstance(constraint, CTrue):
         return True
@@ -425,11 +452,13 @@ def is_valid(constraint: Constraint) -> bool:
     )
 
 
+@lru_cache(maxsize=SOLVER_CACHE_SIZE)
 def solve(constraint: Constraint) -> Constraint:
     """The paper's ``Solve``: reduce ``C`` as far as the boolean laws allow.
 
     Returns ``FALSE`` when the constraint is unsatisfiable, ``TRUE`` when
     it is valid, and the simplified residual constraint otherwise.
+    Memoized on the interned node (invalidation-free: nodes are immutable).
     """
     constraint = simplify(constraint)
     if isinstance(constraint, (CTrue, CFalse)):
@@ -439,6 +468,14 @@ def solve(constraint: Constraint) -> Constraint:
     if is_valid(constraint):
         return TRUE
     return constraint
+
+
+#: Cache registration for ``--stats`` reporting (repro.perf).
+perf.register_cache("constraints.locality", locality)
+perf.register_cache("constraints.basic_constraint", basic_constraint)
+perf.register_cache("constraints.is_satisfiable", is_satisfiable)
+perf.register_cache("constraints.is_valid", is_valid)
+perf.register_cache("constraints.solve", solve)
 
 
 def satisfying_assignments(constraint: Constraint) -> Tuple[Dict[str, bool], ...]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import perf
 from repro.core.constraints import (
     FALSE,
     basic_constraint,
@@ -158,6 +159,7 @@ class Inferencer:
     ) -> Tuple[ConstrainedType, Derivation]:
         """Fail the rule if its constraint is unsatisfiable (Solve = False)."""
         resolved = self._resolve(ct)
+        perf.increment("infer.solve_checks")
         if is_unsatisfiable(resolved.constraint):
             failure = Derivation(rule, expr, None, premises, note)
             raise_nesting(rule, expr, resolved, failure)
@@ -166,6 +168,7 @@ class Inferencer:
     # -- the rules of Figure 7 --------------------------------------------
 
     def infer(self, env: TypeEnv, expr: Expr) -> Tuple[ConstrainedType, Derivation]:
+        perf.increment("infer.nodes")
         if isinstance(expr, Var):
             scheme = env.lookup(expr.name)
             if scheme is None:
@@ -468,12 +471,13 @@ def infer(expr: Expr, env: Optional[TypeEnv] = None, prune: bool = True) -> Cons
     :mod:`repro.core.normalize`).
     """
     engine = Inferencer(prune=prune)
-    with deep_recursion():
+    with perf.timed("infer"), deep_recursion():
         ct, _ = engine.infer(env or TypeEnv.empty(), expr)
         final = engine.subst.apply_constrained(ct)
     if prune:
         environment = env or TypeEnv.empty()
         final = prune_constrained(final, environment.apply(engine.subst).free_vars())
+    perf.increment("infer.runs")
     return final
 
 

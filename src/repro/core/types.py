@@ -14,6 +14,14 @@ types ``tau1 * ... * taun`` for n >= 3 (:class:`TTuple`).
 Types are immutable; substitution produces new types.  Display follows
 OCaml conventions: variables print as ``'a``, ``'b``, ... in order of first
 appearance.
+
+Type nodes are **hash-consed**: the :class:`_InternMeta` metaclass keeps a
+per-class pool so that structurally identical nodes are one object.  The
+classes therefore use identity equality and identity hashing (``eq=False``)
+— equality checks and dictionary/set operations on types are pointer-fast,
+and the solver caches of :mod:`repro.core.constraints` can key directly on
+nodes without ever hashing a deep structure.  The pools hold their entries
+weakly, so types no longer referenced anywhere are reclaimed.
 """
 
 from __future__ import annotations
@@ -21,11 +29,42 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, Tuple
+from weakref import WeakValueDictionary
 
 
-@dataclass(frozen=True)
-class Type:
-    """Base class of simple types."""
+class _InternMeta(type):
+    """Hash-consing metaclass: structurally equal nodes are one object.
+
+    The instance is built normally (running ``__post_init__`` validation),
+    then deduplicated against a per-class weak pool keyed on its field
+    values.  Children are interned before their parents, so pool lookups
+    hash and compare child fields by identity — O(#fields), not O(size).
+    """
+
+    def __new__(mcls, name, bases, namespace):
+        cls = super().__new__(mcls, name, bases, namespace)
+        cls._intern_pool = WeakValueDictionary()
+        return cls
+
+    def __call__(cls, *args, **kwargs):
+        node = super().__call__(*args, **kwargs)
+        key = tuple(getattr(node, name) for name in cls.__dataclass_fields__)
+        pool = cls._intern_pool
+        interned = pool.get(key)
+        if interned is None:
+            pool[key] = node
+            return node
+        return interned
+
+
+@dataclass(frozen=True, eq=False)
+class Type(metaclass=_InternMeta):
+    """Base class of simple types.
+
+    Instances are interned (see :class:`_InternMeta`): ``==`` and ``hash``
+    are identity-based, which coincides with structural equality because
+    every construction path yields the pooled representative.
+    """
 
     def children(self) -> Tuple["Type", ...]:
         return ()
@@ -39,14 +78,14 @@ class Type:
         return render_type(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TBase(Type):
     """A base type ``kappa``: ``int``, ``bool`` or ``unit``."""
 
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TVar(Type):
     """A type variable ``alpha``.
 
@@ -57,7 +96,7 @@ class TVar(Type):
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TArrow(Type):
     """A function type ``domain -> codomain``."""
 
@@ -68,7 +107,7 @@ class TArrow(Type):
         return (self.domain, self.codomain)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TPair(Type):
     """A pair type ``first * second``."""
 
@@ -79,7 +118,7 @@ class TPair(Type):
         return (self.first, self.second)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TTuple(Type):
     """An n-ary tuple type, n >= 3 (extension beyond the paper)."""
 
@@ -93,7 +132,7 @@ class TTuple(Type):
         return self.items
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TSum(Type):
     """A binary sum type ``(left, right) sum`` (extension, paper sec. 6)."""
 
@@ -104,7 +143,7 @@ class TSum(Type):
         return (self.left, self.right)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TRef(Type):
     """A mutable reference type ``content ref`` (imperative extension,
     paper section 6)."""
@@ -115,7 +154,7 @@ class TRef(Type):
         return (self.content,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TPar(Type):
     """A parallel vector type ``(content par)``."""
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import perf
 from repro.core.errors import OccursCheckError, UnificationError
 from repro.core.schemes import Subst
 from repro.core.types import (
@@ -35,7 +36,9 @@ def unify(left: Type, right: Type, loc: Optional[Loc] = None) -> Subst:
     """
     subst = Subst.identity()
     stack = [(left, right)]
+    steps = 0
     while stack:
+        steps += 1
         a, b = stack.pop()
         a = subst.apply_type(a)
         b = subst.apply_type(b)
@@ -75,6 +78,9 @@ def unify(left: Type, right: Type, loc: Optional[Loc] = None) -> Subst:
             stack.append((a.content, b.content))
             continue
         raise UnificationError(a, b, loc)
+    if perf.is_collecting():
+        perf.increment("unify.calls")
+        perf.increment("unify.steps", steps)
     return subst
 
 

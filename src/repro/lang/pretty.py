@@ -27,6 +27,7 @@ from repro.lang.ast import (
     Tuple,
     Var,
 )
+from repro.lang.limits import deep_recursion
 from repro.lang.parser import BINARY_OPERATORS
 
 # Precedence levels, mirroring the parser: bigger binds tighter.
@@ -66,8 +67,14 @@ _OP_PREC = {
 
 
 def pretty(expr: Expr) -> str:
-    """Render ``expr`` as concrete mini-BSML syntax."""
-    return _render(expr, _PREC_EXPR)
+    """Render ``expr`` as concrete mini-BSML syntax.
+
+    Guards the frame limit like the parser and the evaluators: rendering
+    recurses over the AST, and deep ``let`` towers are legitimate input
+    (``minibsml trace`` prints every intermediate state of one).
+    """
+    with deep_recursion():
+        return _render(expr, _PREC_EXPR)
 
 
 def _paren(text: str, need: bool) -> str:

@@ -1,0 +1,40 @@
+"""Performance observability for the inference pipeline and BSP engine.
+
+See :mod:`repro.perf.counters` for the design.  Typical use::
+
+    from repro import perf
+
+    with perf.collect() as stats:
+        infer(expr)
+    print(stats.render())
+"""
+
+from repro.perf.counters import (
+    CacheReport,
+    PerfStats,
+    add_time,
+    clear_caches,
+    collect,
+    increment,
+    is_collecting,
+    register_cache,
+    registered_caches,
+    start,
+    stop,
+    timed,
+)
+
+__all__ = [
+    "CacheReport",
+    "PerfStats",
+    "add_time",
+    "clear_caches",
+    "collect",
+    "increment",
+    "is_collecting",
+    "register_cache",
+    "registered_caches",
+    "start",
+    "stop",
+    "timed",
+]

@@ -1,0 +1,217 @@
+"""Counters, timers and cache statistics for the inference pipeline.
+
+The hot path of the reproduction is ``Solve`` — invoked at every
+instantiation and generalization point — plus unification and the BSP
+superstep engine.  This module gives all of them one cheap, explicit
+observability surface:
+
+* **counters** — monotonically increasing event counts (``solve`` calls,
+  unification steps, supersteps simulated, words exchanged, ...);
+* **timers** — wall-clock accumulated under a label via :func:`timed`;
+* **cache statistics** — every memoization cache of the solver layer
+  registers itself with :func:`register_cache`; a collector snapshots the
+  ``functools.lru_cache`` bookkeeping on entry and reports hit/miss
+  *deltas*, so nested or repeated collections stay accurate.
+
+Collection is opt-in and stack-shaped: :func:`collect` pushes a
+:class:`PerfStats` onto a module-level stack, every instrumentation point
+checks the stack (one truthiness test when disabled — cheap enough for
+hot loops to call unconditionally), and increments apply to *all* active
+collectors so nested scopes each see their own totals.
+
+The design is invalidation-free by construction: every cached function is
+keyed on hash-consed immutable nodes (see :mod:`repro.core.types` and
+:mod:`repro.core.constraints`), so entries can never go stale — the only
+eviction is the bounded LRU size.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+#: Registry of memoized functions: name -> lru_cache-wrapped callable.
+_REGISTERED_CACHES: Dict[str, Callable[..., Any]] = {}
+
+#: Stack of active collectors (usually empty or a single entry).
+_ACTIVE: List["PerfStats"] = []
+
+
+def register_cache(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Register an ``lru_cache``-wrapped function for cache reporting.
+
+    Returns ``fn`` so it can be used as a decoration step.
+    """
+    if not hasattr(fn, "cache_info"):
+        raise TypeError(f"cache {name!r} has no cache_info(); wrap with lru_cache")
+    _REGISTERED_CACHES[name] = fn
+    return fn
+
+
+def registered_caches() -> Dict[str, Callable[..., Any]]:
+    """A snapshot of the cache registry (name -> cached function)."""
+    return dict(_REGISTERED_CACHES)
+
+
+def clear_caches() -> None:
+    """Empty every registered memoization cache (cold-start state).
+
+    Only benchmarks and tests should need this; correctness never does,
+    because all cached functions are pure over immutable interned nodes.
+    """
+    for fn in _REGISTERED_CACHES.values():
+        fn.cache_clear()
+
+
+def is_collecting() -> bool:
+    """True when at least one collector is active."""
+    return bool(_ACTIVE)
+
+
+def increment(name: str, by: float = 1) -> None:
+    """Add ``by`` to counter ``name`` on every active collector."""
+    if not _ACTIVE:
+        return
+    for stats in _ACTIVE:
+        stats.counters[name] = stats.counters.get(name, 0) + by
+
+
+def add_time(name: str, seconds: float) -> None:
+    """Accumulate ``seconds`` under timer ``name`` on active collectors."""
+    if not _ACTIVE:
+        return
+    for stats in _ACTIVE:
+        stats.timers[name] = stats.timers.get(name, 0.0) + seconds
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Time the enclosed block into timer ``name`` (no-op when inactive)."""
+    if not _ACTIVE:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        add_time(name, time.perf_counter() - start)
+
+
+@dataclass
+class CacheReport:
+    """Hit/miss delta of one registered cache over a collection window."""
+
+    name: str
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of calls served from cache (0.0 when never called)."""
+        return self.hits / self.calls if self.calls else 0.0
+
+
+@dataclass
+class PerfStats:
+    """One collection window of counters, timers and cache deltas."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    timers: Dict[str, float] = field(default_factory=dict)
+    _cache_baseline: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def snapshot_caches(self) -> None:
+        """Record the current hit/miss totals as this window's baseline."""
+        for name, fn in _REGISTERED_CACHES.items():
+            info = fn.cache_info()
+            self._cache_baseline[name] = (info.hits, info.misses)
+
+    def cache_reports(self) -> List[CacheReport]:
+        """Per-cache hit/miss deltas since :meth:`snapshot_caches`."""
+        reports = []
+        for name, fn in sorted(_REGISTERED_CACHES.items()):
+            info = fn.cache_info()
+            base_hits, base_misses = self._cache_baseline.get(name, (0, 0))
+            reports.append(
+                CacheReport(
+                    name,
+                    info.hits - base_hits,
+                    info.misses - base_misses,
+                    info.currsize,
+                    info.maxsize or 0,
+                )
+            )
+        return reports
+
+    def hit_rate(self, name: str) -> float:
+        """Hit rate of one registered cache over this window."""
+        for report in self.cache_reports():
+            if report.name == name:
+                return report.hit_rate
+        raise KeyError(f"no registered cache named {name!r}")
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def render(self) -> str:
+        """A human-readable report (counters, cache hit rates, timers)."""
+        lines = ["perf stats:"]
+        if self.counters:
+            lines.append("  counters:")
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                shown = f"{value:.0f}" if float(value).is_integer() else f"{value:.2f}"
+                lines.append(f"    {name:<28} {shown:>12}")
+        reports = [r for r in self.cache_reports() if r.calls]
+        if reports:
+            lines.append("  caches (hits/misses, hit rate):")
+            for report in reports:
+                lines.append(
+                    f"    {report.name:<28} {report.hits:>8}/{report.misses:<8}"
+                    f" {report.hit_rate:>6.1%}  (size {report.size}/{report.maxsize})"
+                )
+        if self.timers:
+            lines.append("  timers:")
+            for name in sorted(self.timers):
+                lines.append(f"    {name:<28} {self.timers[name] * 1e3:>10.2f} ms")
+        if len(lines) == 1:
+            lines.append("  (nothing recorded)")
+        return "\n".join(lines)
+
+
+@contextmanager
+def collect() -> Iterator[PerfStats]:
+    """Collect counters, timers and cache deltas for the enclosed block."""
+    stats = PerfStats()
+    stats.snapshot_caches()
+    _ACTIVE.append(stats)
+    try:
+        yield stats
+    finally:
+        _ACTIVE.remove(stats)
+
+
+def start() -> PerfStats:
+    """Begin an open-ended collection window (REPL sessions).
+
+    The returned stats object accumulates until :func:`stop` is called;
+    its :meth:`PerfStats.render` may be consulted live at any point.
+    """
+    stats = PerfStats()
+    stats.snapshot_caches()
+    _ACTIVE.append(stats)
+    return stats
+
+
+def stop(stats: PerfStats) -> PerfStats:
+    """End a window opened with :func:`start` (idempotent)."""
+    if stats in _ACTIVE:
+        _ACTIVE.remove(stats)
+    return stats

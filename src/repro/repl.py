@@ -10,6 +10,7 @@ Meta-commands::
     :explain <expr>  print the typing derivation (or the rejection tree)
     :trace <expr>    print the small-step reduction sequence
     :cost            print the BSP cost accumulated so far
+    :stats           print perf counters and solver-cache hit rates
     :reset           forget definitions and cost
     :p <n> [g] [l]   restart the machine with new BSP parameters
     :env             list the session's definitions
@@ -28,6 +29,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, Optional, TextIO
 
+from repro import perf
 from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
 from repro.core.infer import infer
@@ -52,6 +54,8 @@ class Session:
 
     def __init__(self, params: Optional[BspParams] = None) -> None:
         self.params = params or BspParams(p=4, g=1.0, l=20.0)
+        #: Session-long perf window, installed by :func:`run_repl`.
+        self.perf_stats: Optional[perf.PerfStats] = None
         self.reset()
 
     def reset(self) -> None:
@@ -106,6 +110,12 @@ class Session:
         if command == ":cost":
             print(self.machine.cost().render(self.params), file=out)
             return True
+        if command == ":stats":
+            if self.perf_stats is not None:
+                print(self.perf_stats.render(), file=out)
+            else:
+                print("perf collection is not active for this session", file=out)
+            return True
         if command == ":reset":
             self.reset()
             print("session reset", file=out)
@@ -128,7 +138,7 @@ class Session:
             print(f"machine restarted: {self.params.describe()}", file=out)
             return True
         print(f"unknown command {command!r} (try :type :explain :trace :cost "
-              ":reset :env :p :quit)", file=out)
+              ":stats :reset :env :p :quit)", file=out)
         return True
 
     def _program(self, line: str, out: TextIO) -> None:
@@ -178,8 +188,14 @@ def run_repl(
     output_stream: Optional[TextIO] = None,
     params: Optional[BspParams] = None,
     banner: bool = True,
+    stats_at_exit: bool = False,
 ) -> int:
-    """Run the REPL loop until EOF or ``:quit``."""
+    """Run the REPL loop until EOF or ``:quit``.
+
+    A session-long perf window is collected so ``:stats`` can report
+    counters and solver-cache hit rates at any point; with
+    ``stats_at_exit`` the final report is also printed when leaving.
+    """
     stdin = input_stream if input_stream is not None else sys.stdin
     out = output_stream if output_stream is not None else sys.stdout
     session = Session(params)
@@ -187,14 +203,20 @@ def run_repl(
     if banner:
         print(
             f"mini-BSML repl — machine {session.params.describe()} — "
-            ":quit to leave, :type/:explain/:trace/:cost for tools",
+            ":quit to leave, :type/:explain/:trace/:cost/:stats for tools",
             file=out,
         )
-    while True:
-        if interactive:
-            print("minibsml> ", end="", file=out, flush=True)
-        line = stdin.readline()
-        if not line:
-            return 0
-        if not session.handle(line, out):
-            return 0
+    session.perf_stats = perf.start()
+    try:
+        while True:
+            if interactive:
+                print("minibsml> ", end="", file=out, flush=True)
+            line = stdin.readline()
+            if not line:
+                return 0
+            if not session.handle(line, out):
+                return 0
+    finally:
+        perf.stop(session.perf_stats)
+        if stats_at_exit:
+            print(session.perf_stats.render(), file=out)

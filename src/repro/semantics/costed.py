@@ -14,6 +14,7 @@ from repro.bsp.cost import BspCost
 from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
 from repro.lang.ast import Expr
+from repro.lang.limits import deep_recursion
 from repro.lang.parser import parse_program
 from repro.lang.prelude import with_prelude
 from repro.semantics.bigstep import Evaluator
@@ -34,7 +35,9 @@ class CostedResult:
 
     @property
     def python_value(self):
-        return to_python(self.value)
+        # Value-to-Python conversion recurses over the value structure.
+        with deep_recursion():
+            return to_python(self.value)
 
     def render(self) -> str:
         return self.cost.render(self.params)
@@ -45,10 +48,16 @@ def run_costed(
     params: BspParams,
     use_prelude: bool = False,
 ) -> CostedResult:
-    """Evaluate ``expr`` at size ``params.p`` with full cost accounting."""
+    """Evaluate ``expr`` at size ``params.p`` with full cost accounting.
+
+    Wrapped in :func:`deep_recursion` like the other evaluator entry
+    points: prelude linking and evaluation both recurse over the AST, and
+    a deep ``let`` tower is a legitimate program.
+    """
     machine = BspMachine(params)
-    program = with_prelude(expr) if use_prelude else expr
-    value = Evaluator(params.p, machine).eval(program)
+    with deep_recursion():
+        program = with_prelude(expr) if use_prelude else expr
+        value = Evaluator(params.p, machine).eval(program)
     return CostedResult(value, machine.cost(), params)
 
 

@@ -34,6 +34,7 @@ from repro.lang.ast import (
     Var,
     is_value_syntax,
 )
+from repro.lang.limits import deep_recursion
 from repro.lang.pretty import pretty
 from repro.lang.substitution import substitute
 from repro.semantics.contexts import decompose, plug
@@ -99,14 +100,22 @@ def head_reduce(redex: Expr, p: int, local: bool) -> Optional[Expr]:
 
 
 def step(expr: Expr, p: int) -> Optional[Expr]:
-    """One step of ``->`` (at machine size ``p``), or None in normal form."""
-    decomposition = decompose(expr)
-    if decomposition is None:
-        return None
-    reduct = head_reduce(decomposition.redex, p, decomposition.local)
-    if reduct is None:
-        return None
-    return plug(expr, decomposition.path, reduct)
+    """One step of ``->`` (at machine size ``p``), or None in normal form.
+
+    Wrapped in :func:`deep_recursion`: ``decompose``, ``substitute`` and
+    ``plug`` all recurse over the AST, so a deep (but legitimate) ``let``
+    tower would otherwise blow CPython's default frame limit — the parser,
+    inference and the big-step evaluator already guard themselves the
+    same way.
+    """
+    with deep_recursion():
+        decomposition = decompose(expr)
+        if decomposition is None:
+            return None
+        reduct = head_reduce(decomposition.redex, p, decomposition.local)
+        if reduct is None:
+            return None
+        return plug(expr, decomposition.path, reduct)
 
 
 def trace(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> Iterator[Expr]:
@@ -125,15 +134,16 @@ def trace(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> Iterator[Ex
 def evaluate(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> Expr:
     """Reduce ``expr`` to a value, raising :class:`StuckError` on a
     non-value normal form and :class:`StepLimitExceeded` on fuel burnout."""
-    current = expr
-    for _ in range(max_steps):
-        reduced = step(current, p)
-        if reduced is None:
-            if is_value_syntax(current):
-                return current
-            raise StuckError(current, diagnose(current, p))
-        current = reduced
-    raise StepLimitExceeded(max_steps)
+    with deep_recursion():
+        current = expr
+        for _ in range(max_steps):
+            reduced = step(current, p)
+            if reduced is None:
+                if is_value_syntax(current):
+                    return current
+                raise StuckError(current, diagnose(current, p))
+            current = reduced
+        raise StepLimitExceeded(max_steps)
 
 
 def step_count(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> int:
@@ -146,12 +156,13 @@ def step_count(expr: Expr, p: int, max_steps: int = DEFAULT_MAX_STEPS) -> int:
 
 def diagnose(expr: Expr, p: int) -> str:
     """Explain why a normal-form non-value is stuck."""
-    decomposition = decompose(expr)
-    if decomposition is None:
-        # Stuck below: some child is a non-value with no redex.
-        culprit = _first_stuck_leaf(expr)
-        return _describe(culprit, p, local=False) if culprit else "not a value"
-    return _describe(decomposition.redex, p, decomposition.local)
+    with deep_recursion():
+        decomposition = decompose(expr)
+        if decomposition is None:
+            # Stuck below: some child is a non-value with no redex.
+            culprit = _first_stuck_leaf(expr)
+            return _describe(culprit, p, local=False) if culprit else "not a value"
+        return _describe(decomposition.redex, p, decomposition.local)
 
 
 def _first_stuck_leaf(expr: Expr) -> Optional[Expr]:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bsp.params import BspParams
 from repro.bsml.errors import ForeignVectorError, NestingViolation, VectorWidthError
-from repro.bsml.primitives import Bsml, ParVector
+from repro.bsml.primitives import NO_MESSAGE, Bsml, ParVector
 
 
 @pytest.fixture
@@ -63,16 +63,25 @@ class TestPut:
         # Process i receives from j the value j*10+i.
         assert [f(1) for f in delivered] == [10 + i for i in range(4)]
 
-    def test_none_means_no_message(self, ctx):
-        senders = ctx.mkpar(lambda j: (lambda dst: j if j == 0 else None))
+    def test_no_message_sentinel(self, ctx):
+        senders = ctx.mkpar(lambda j: (lambda dst: j if j == 0 else NO_MESSAGE))
         delivered = ctx.put(senders)
         assert [f(0) for f in delivered] == [0, 0, 0, 0]
-        assert [f(1) for f in delivered] == [None] * 4
+        assert [f(1) for f in delivered] == [NO_MESSAGE] * 4
 
-    def test_out_of_range_source_is_none(self, ctx):
+    def test_transmitted_none_is_delivered_as_none(self, ctx):
+        # Regression: None is an ordinary value, NOT "no message" — the
+        # OCaml library's Some None vs None distinction.
+        senders = ctx.mkpar(lambda j: (lambda dst: None if j == 0 else NO_MESSAGE))
+        delivered = ctx.put(senders)
+        assert [f(0) for f in delivered] == [None] * 4
+        assert [f(1) for f in delivered] == [NO_MESSAGE] * 4
+        assert ctx.cost().H == 3  # one word of None to each of 3 peers
+
+    def test_out_of_range_source_is_no_message(self, ctx):
         delivered = ctx.put(ctx.mkpar(lambda j: (lambda dst: j)))
-        assert delivered[0](99) is None
-        assert delivered[0](-1) is None
+        assert delivered[0](99) is NO_MESSAGE
+        assert delivered[0](-1) is NO_MESSAGE
 
     def test_put_is_one_superstep(self, ctx):
         ctx.put(ctx.mkpar(lambda j: (lambda dst: j)))
@@ -80,14 +89,24 @@ class TestPut:
         assert cost.S == 1
         assert cost.H == 3  # everyone sends one word to 3 others
 
-    def test_none_messages_cost_nothing(self, ctx):
-        ctx.put(ctx.mkpar(lambda j: (lambda dst: None)))
+    def test_no_message_costs_nothing(self, ctx):
+        ctx.put(ctx.mkpar(lambda j: (lambda dst: NO_MESSAGE)))
         assert ctx.cost().H == 0
+
+    def test_transmitted_none_costs_one_word(self, ctx):
+        # Regression: a sent None used to be dropped from the h-relation.
+        senders = ctx.mkpar(
+            lambda j: (lambda dst: None if j == 0 and dst == 1 else NO_MESSAGE)
+        )
+        ctx.put(senders)
+        assert ctx.cost().H == 1
 
     def test_message_sizes_counted(self, ctx):
         # Process 0 sends a 4-element list (4 + 1 framing words) to 1.
         senders = ctx.mkpar(
-            lambda j: (lambda dst: [1, 2, 3, 4] if j == 0 and dst == 1 else None)
+            lambda j: (
+                lambda dst: [1, 2, 3, 4] if j == 0 and dst == 1 else NO_MESSAGE
+            )
         )
         ctx.put(senders)
         assert ctx.cost().H == 5

@@ -4,12 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bsp.machine import NO_MESSAGE
 from repro.bsml.sizes import words_of
 
 
 class TestScalars:
-    def test_none_is_no_message(self):
-        assert words_of(None) == 0
+    def test_no_message_weighs_nothing(self):
+        assert words_of(NO_MESSAGE) == 0
+
+    def test_none_is_a_real_one_word_value(self):
+        # Regression: None used to be conflated with "no message" (size 0);
+        # it is now an ordinary unit-like payload.
+        assert words_of(None) == 1
 
     def test_numbers(self):
         assert words_of(0) == 1
@@ -43,9 +49,9 @@ class TestContainers:
     def test_dict(self):
         assert words_of({"k": 1}) == 1 + 1 + 1
 
-    def test_none_inside_container_is_free(self):
-        # None *inside* a payload contributes 0 but the message is sent.
-        assert words_of([None]) == 1
+    def test_none_inside_container_counts(self):
+        # None *inside* a payload is a transmitted value like any other.
+        assert words_of([None]) == 2
 
 
 class TestBuffers:

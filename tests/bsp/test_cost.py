@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.bsp.cost import BspCost, SuperstepCost
@@ -84,3 +86,44 @@ class TestHRelationObject:
 
     def test_p(self):
         assert HRelation((0, 0, 0), (0, 0, 0)).p == 3
+
+
+class TestDecompositionTolerance:
+    """Regression: check_decomposition used an absolute 1e-9 tolerance,
+    which spuriously failed for large-magnitude totals where a single
+    float rounding step already exceeds 1e-9."""
+
+    def _large_cost(self, steps=1000):
+        relation = HRelation((3, 0), (0, 3))
+        work = (1e14 + 0.3, 0.0)
+        return BspCost(
+            p=2,
+            supersteps=[
+                SuperstepCost(work, relation, True, "big") for _ in range(steps)
+            ],
+        )
+
+    def test_large_totals_still_decompose(self):
+        params = BspParams(p=2, g=0.1, l=0.7)
+        cost = self._large_cost()
+        # The two summation orders genuinely differ in the last bits (by
+        # ~752.0 absolute for this corpus — far beyond any absolute 1e-9
+        # check), but the relative check accepts the reassociation error.
+        by_steps = sum(s.time(params) for s in cost.supersteps)
+        assert abs(by_steps - cost.total(params)) > 1e-9
+        assert cost.check_decomposition(params)
+
+    def test_real_mismatch_still_detected(self):
+        params = BspParams(p=2, g=2.0, l=10.0)
+        cost = self._large_cost(steps=2)
+        # A genuinely different total (e.g. a superstep dropped) must fail.
+        broken = BspCost(p=2, supersteps=cost.supersteps[:1])
+        by_steps_broken = sum(s.time(params) for s in broken.supersteps)
+        assert by_steps_broken != cost.total(params)
+        assert not math.isclose(
+            by_steps_broken, cost.total(params), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    def test_zero_cost_decomposes(self):
+        # abs_tol keeps the empty program (both sums exactly 0.0) passing.
+        assert BspCost(p=2, supersteps=[]).check_decomposition(PARAMS)

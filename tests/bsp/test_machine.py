@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bsp.cost import BspCost, SuperstepCost
-from repro.bsp.machine import BspMachine
+from repro.bsp.machine import NO_MESSAGE, BspMachine
 from repro.bsp.network import HRelation
 from repro.bsp.params import PREDEFINED, BspParams
 
@@ -105,13 +105,54 @@ class TestMailboxes:
         )
         assert m.receive(1, 0) == "hello"
         assert m.receive(2, 1) == "world"
-        assert m.receive(0, 1) is None
+        assert m.receive(0, 1) is NO_MESSAGE
+        assert m.has_message(1, 0)
+        assert not m.has_message(0, 1)
 
     def test_next_exchange_clears_mailboxes(self):
         m = machine(p=2)
         m.exchange([[0, 1], [0, 0]], payloads={(0, 1): 42})
         m.exchange([[0, 0], [0, 0]])
+        assert m.receive(1, 0) is NO_MESSAGE
+        assert not m.has_message(1, 0)
+
+    def test_transmitted_none_differs_from_no_message(self):
+        # Regression: a transmitted None used to be indistinguishable from
+        # "no message"; receive now keeps them apart via the sentinel.
+        m = machine(p=2)
+        m.exchange([[0, 1], [0, 0]], payloads={(0, 1): None})
         assert m.receive(1, 0) is None
+        assert m.has_message(1, 0)
+        assert m.receive(1, 1) is NO_MESSAGE
+        assert not m.has_message(1, 1)
+
+    def test_no_message_sentinel_is_falsy(self):
+        assert not NO_MESSAGE
+        assert repr(NO_MESSAGE) == "NO_MESSAGE"
+
+
+class TestExchangeValidation:
+    """Regression: exchange used to deliver payloads without checking them
+    against the traffic matrix, silently corrupting the cost accounting."""
+
+    def test_out_of_range_payload_key(self):
+        m = machine(p=2)
+        with pytest.raises(ValueError, match="out of range"):
+            m.exchange([[0, 1], [0, 0]], payloads={(0, 5): "x"})
+        with pytest.raises(ValueError, match="out of range"):
+            m.exchange([[0, 1], [0, 0]], payloads={(-1, 1): "x"})
+
+    def test_diagonal_self_send_rejected(self):
+        m = machine(p=2)
+        with pytest.raises(ValueError, match="self-send"):
+            m.exchange([[0, 1], [0, 0]], payloads={(0, 0): "x"})
+
+    def test_unaccounted_payload_rejected(self):
+        # The matrix says nothing flows 1 -> 0, so a (1, 0) payload would
+        # be communication the cost model never charged for.
+        m = machine(p=2)
+        with pytest.raises(ValueError, match="unaccounted"):
+            m.exchange([[0, 1], [0, 0]], payloads={(1, 0): "x"})
 
 
 class TestCostObjects:

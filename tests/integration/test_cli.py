@@ -163,3 +163,42 @@ class TestReplSubcommand:
         parser = build_parser()
         args = parser.parse_args(["repl", "-p", "2"])
         assert args.p == 2
+
+
+class TestStatsFlag:
+    def test_run_stats_reports_nonzero_hit_rate(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "run",
+            "--stats",
+            "-e",
+            "bcast 2 (mkpar (fun i -> i * i))",
+            "-p",
+            "8",
+        )
+        assert code == 0
+        assert "[4, 4, 4, 4, 4, 4, 4, 4]" in out
+        assert "perf stats:" in err
+        assert "constraints.is_satisfiable" in err
+        # The solver caches must actually be hit on an examples-scale
+        # program, not merely reported.
+        hit_rates = [
+            float(line.split("%")[0].split()[-1])
+            for line in err.splitlines()
+            if "constraints." in line and "%" in line
+        ]
+        assert hit_rates and max(hit_rates) > 0.0
+        assert "supersteps" in err
+
+    def test_typecheck_stats_counts_inference(self, capsys):
+        code, _, err = run_cli(
+            capsys, "typecheck", "--stats", "-e", "fun x -> x + 1"
+        )
+        assert code == 0
+        assert "infer.runs" in err
+        assert "unify.calls" in err
+
+    def test_stats_off_by_default(self, capsys):
+        code, _, err = run_cli(capsys, "typecheck", "-e", "fun x -> x + 1")
+        assert code == 0
+        assert "perf stats" not in err

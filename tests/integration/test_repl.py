@@ -133,3 +133,28 @@ class TestRunRepl:
         out = io.StringIO()
         run_repl(io.StringIO(""), out, params=BspParams(p=3, g=2.0, l=9.0))
         assert "p=3" in out.getvalue()
+
+
+class TestStats:
+    def test_stats_command_reports_collection(self):
+        stdin = io.StringIO("let v = mkpar (fun i -> i)\n:stats\n:quit\n")
+        out = io.StringIO()
+        code = run_repl(stdin, out, params=BspParams(p=2), banner=False)
+        assert code == 0
+        text = out.getvalue()
+        assert "perf stats:" in text
+        assert "infer.runs" in text
+
+    def test_stats_at_exit(self):
+        stdin = io.StringIO("1 + 1\n")
+        out = io.StringIO()
+        run_repl(
+            stdin, out, params=BspParams(p=2), banner=False, stats_at_exit=True
+        )
+        assert "perf stats:" in out.getvalue()
+
+    def test_stats_window_closed_after_exit(self):
+        from repro import perf
+
+        run_repl(io.StringIO(""), io.StringIO(), params=BspParams(p=2))
+        assert not perf.is_collecting()

@@ -84,3 +84,14 @@ class TestSpecificRenderings:
     def test_if_at(self):
         source = "if v at 0 then x else y"
         assert pretty(parse_expression(source)) == source
+
+
+class TestDeepRendering:
+    def test_deep_let_tower_renders(self):
+        # Regression: pretty recurses over the AST and used to blow the
+        # default frame limit on deep programs (minibsml trace prints
+        # every intermediate state of exactly such towers).
+        source = "".join(f"let x{i} = {i} in " for i in range(1500)) + "x0"
+        text = pretty(parse_expression(source))
+        assert text.startswith("let x0 = 0 in")
+        assert text.endswith("x0")

@@ -1,0 +1,130 @@
+"""Tests for the perf observability layer (counters, timers, caches)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro import perf
+
+
+class TestCounters:
+    def test_increment_outside_collection_is_noop(self):
+        perf.increment("orphan")  # must not raise, must not record anywhere
+        with perf.collect() as stats:
+            pass
+        assert stats.counter("orphan") == 0
+
+    def test_increment_inside_collection(self):
+        with perf.collect() as stats:
+            perf.increment("events")
+            perf.increment("events", 2)
+        assert stats.counter("events") == 3
+
+    def test_missing_counter_reads_zero(self):
+        with perf.collect() as stats:
+            pass
+        assert stats.counter("never-touched") == 0
+
+    def test_nested_collectors_each_see_their_window(self):
+        with perf.collect() as outer:
+            perf.increment("n")
+            with perf.collect() as inner:
+                perf.increment("n")
+        assert outer.counter("n") == 2
+        assert inner.counter("n") == 1
+
+    def test_is_collecting(self):
+        assert not perf.is_collecting()
+        with perf.collect():
+            assert perf.is_collecting()
+        assert not perf.is_collecting()
+
+
+class TestTimers:
+    def test_timed_accumulates(self):
+        with perf.collect() as stats:
+            with perf.timed("work"):
+                pass
+            with perf.timed("work"):
+                pass
+        assert stats.timers["work"] >= 0.0
+
+    def test_timed_is_noop_when_inactive(self):
+        with perf.timed("ghost"):
+            pass  # no collector: nothing recorded, nothing raised
+
+    def test_render_mentions_sections(self):
+        with perf.collect() as stats:
+            perf.increment("a.count", 5)
+            with perf.timed("a.time"):
+                pass
+        text = stats.render()
+        assert "a.count" in text and "a.time" in text
+
+    def test_render_empty_window(self):
+        stats = perf.PerfStats()
+        stats.snapshot_caches()  # baseline == now: zero deltas everywhere
+        assert "nothing recorded" in stats.render()
+
+
+class TestCacheReports:
+    def test_register_requires_lru_cache(self):
+        with pytest.raises(TypeError):
+            perf.register_cache("plain", lambda x: x)
+
+    def test_solver_caches_are_registered(self):
+        import repro.core.constraints  # noqa: F401  (registers on import)
+
+        names = set(perf.registered_caches())
+        assert {
+            "constraints.solve",
+            "constraints.is_satisfiable",
+            "constraints.is_valid",
+            "constraints.locality",
+            "constraints.basic_constraint",
+        } <= names
+
+    def test_deltas_are_windowed(self):
+        @lru_cache(maxsize=None)
+        def double(x):
+            return 2 * x
+
+        perf.register_cache("test.double", double)
+        try:
+            double(1)  # a miss before the window opens
+            with perf.collect() as stats:
+                double(1)  # hit
+                double(2)  # miss
+                double(2)  # hit
+            report = {r.name: r for r in stats.cache_reports()}["test.double"]
+            assert report.hits == 2
+            assert report.misses == 1
+            assert report.calls == 3
+            assert report.hit_rate == pytest.approx(2 / 3)
+        finally:
+            del perf.counters._REGISTERED_CACHES["test.double"]
+
+    def test_hit_rate_of_unknown_cache_raises(self):
+        with perf.collect() as stats:
+            pass
+        with pytest.raises(KeyError):
+            stats.hit_rate("no-such-cache")
+
+
+class TestStartStop:
+    def test_open_ended_window(self):
+        stats = perf.start()
+        try:
+            perf.increment("repl.events")
+        finally:
+            perf.stop(stats)
+        assert stats.counter("repl.events") == 1
+        assert not perf.is_collecting()
+
+    def test_stop_is_idempotent(self):
+        stats = perf.start()
+        perf.stop(stats)
+        perf.stop(stats)
+        assert not perf.is_collecting()

@@ -154,3 +154,12 @@ class TestResultPlumbing:
     def test_run_costed_on_ast(self):
         result = run_costed(parse("mkpar (fun i -> i)"), PARAMS)
         assert result.python_value == [0, 1, 2, 3]
+
+
+class TestDeepPrograms:
+    def test_deep_let_tower_runs_costed(self):
+        # Regression: run_costed recurses over the AST (prelude linking and
+        # evaluation) and must guard the frame limit for deep programs.
+        source = "".join(f"let x{i} = {i} in " for i in range(1500)) + "x0"
+        result = run_source(source, PARAMS, use_prelude=False)
+        assert result.python_value == 0

@@ -166,3 +166,22 @@ class TestFuel:
         omega = parse("(fix (fun f -> fun x -> f x)) 0")
         with pytest.raises(StepLimitExceeded):
             list(trace(omega, 1, max_steps=500))
+
+
+class TestDeepPrograms:
+    """Regression: step/evaluate/diagnose recurse over the AST and used to
+    blow CPython's default frame limit on deep (but legitimate) programs;
+    they now guard themselves with deep_recursion like the parser does."""
+
+    @staticmethod
+    def _let_tower(depth: int) -> str:
+        source = "".join(f"let x{i} = {i} in " for i in range(depth))
+        return source + "x0"
+
+    def test_deep_let_tower_evaluates(self):
+        expr = parse(self._let_tower(1500))
+        assert evaluate(expr, p=2) == Const(0)
+
+    def test_deep_let_tower_single_step(self):
+        expr = parse(self._let_tower(1500))
+        assert step(expr, p=2) is not None
