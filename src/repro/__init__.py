@@ -79,8 +79,13 @@ def run_program(
     l: float = 20.0,
     use_prelude: bool = True,
     typed: bool = True,
+    backend: str = "seq",
 ) -> CostedResult:
     """Typecheck (unless ``typed=False``) and run a program with costs.
+
+    ``backend`` picks the execution backend (``seq``, ``thread``,
+    ``process``) for the per-process computation phases; the value and
+    the abstract cost are backend-independent.
 
     Returns a :class:`repro.semantics.CostedResult`: the value, the
     superstep-by-superstep BSP cost, and the totals under ``(p, g, l)``.
@@ -89,7 +94,7 @@ def run_program(
     if typed:
         typecheck(expr, use_prelude=use_prelude)
     runnable = with_prelude(expr) if use_prelude else expr
-    return run_costed(runnable, BspParams(p=p, g=g, l=l))
+    return run_costed(runnable, BspParams(p=p, g=g, l=l), backend=backend)
 
 
 __all__ = [

@@ -24,6 +24,7 @@ they do not message; the delivered function likewise returns
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.bsp.cost import BspCost
@@ -94,6 +95,25 @@ def _contains_vector(value: Any) -> bool:
     return False
 
 
+# -- per-process tasks for the execution backends ----------------------------
+#
+# Module-level so a ``functools.partial`` over them pickles whenever the
+# user's function does (a module-level function crosses to a process-pool
+# worker; a lambda or a closure over the context falls back to inline
+# execution — see ``repro.bsp.executor.ProcessExecutor``).  Each returns
+# ``(value, ops)``: one abstract op per component application, exactly
+# what the primitives used to charge in-line.
+
+
+def _call_task(fn: Callable[..., Any], *args: Any):
+    return fn(*args), 1.0
+
+
+def _sender_row_task(p: int, sender: Callable[[int], Any]):
+    """Evaluate one sender's message function at every destination."""
+    return [sender(i) for i in range(p)], float(p)
+
+
 class Bsml:
     """A BSML programming context: the primitives bound to one machine.
 
@@ -102,9 +122,20 @@ class Bsml:
     [0, 1, 4, 9]
     """
 
-    def __init__(self, params: BspParams, machine: Optional[BspMachine] = None) -> None:
+    def __init__(
+        self,
+        params: BspParams,
+        machine: Optional[BspMachine] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if machine is None:
+            from repro.bsp.executor import get_executor
+
+            machine = BspMachine(params, executor=get_executor(backend or "seq"))
+        elif backend is not None:
+            machine.use_backend(backend)
         self.params = params
-        self.machine = machine if machine is not None else BspMachine(params)
+        self.machine = machine
         if self.machine.p != params.p:
             raise VectorWidthError(
                 f"machine width {self.machine.p} differs from p={params.p}"
@@ -130,22 +161,22 @@ class Bsml:
     # -- the four primitives ---------------------------------------------------
 
     def mkpar(self, f: Callable[[int], Any]) -> ParVector:
-        """``mkpar f`` holds ``f(i)`` on process ``i`` (asynchronous)."""
-        values = []
-        for i in range(self.p):
-            self.machine.local(i, 1.0)
-            values.append(f(i))
-        return ParVector(tuple(values), self)
+        """``mkpar f`` holds ``f(i)`` on process ``i`` (asynchronous).
+
+        Runs on the machine's execution backend (one task per process);
+        the accounting — one op per component — is backend-independent.
+        """
+        tasks = [partial(_call_task, f, i) for i in range(self.p)]
+        return ParVector(tuple(self.machine.run_superstep(tasks)), self)
 
     def apply(self, functions: ParVector, arguments: ParVector) -> ParVector:
         """``apply fv xv`` applies component-wise (asynchronous, no barrier)."""
         self._own(functions)
         self._own(arguments)
-        values = []
-        for i in range(self.p):
-            self.machine.local(i, 1.0)
-            values.append(functions[i](arguments[i]))
-        return ParVector(tuple(values), self)
+        tasks = [
+            partial(_call_task, functions[i], arguments[i]) for i in range(self.p)
+        ]
+        return ParVector(tuple(self.machine.run_superstep(tasks)), self)
 
     def put(self, senders: ParVector) -> ParVector:
         """``put fv``: global communication, ends the superstep.
@@ -164,13 +195,8 @@ class Bsml:
         """
         self._own(senders)
         p = self.p
-        outgoing: List[List[Any]] = []
-        for j in range(p):
-            row = []
-            for i in range(p):
-                self.machine.local(j, 1.0)
-                row.append(senders[j](i))
-            outgoing.append(row)
+        tasks = [partial(_sender_row_task, p, senders[j]) for j in range(p)]
+        outgoing: List[List[Any]] = self.machine.run_superstep(tasks)
         sent = [[words_of(outgoing[j][i]) for i in range(p)] for j in range(p)]
         payloads = {
             (j, i): outgoing[j][i]

@@ -1,6 +1,15 @@
-"""BSP substrate: machine parameters, superstep engine, cost accounting."""
+"""BSP substrate: machine parameters, superstep engine, cost accounting,
+and pluggable execution backends."""
 
 from repro.bsp.cost import BspCost, SuperstepCost
+from repro.bsp.executor import (
+    BACKENDS,
+    ProcessExecutor,
+    SequentialExecutor,
+    ThreadExecutor,
+    get_executor,
+    shutdown_executors,
+)
 from repro.bsp.machine import BspMachine
 from repro.bsp.network import (
     HRelation,
@@ -11,13 +20,19 @@ from repro.bsp.network import (
 from repro.bsp.params import PREDEFINED, BspParams
 
 __all__ = [
+    "BACKENDS",
     "BspCost",
     "BspMachine",
     "BspParams",
     "HRelation",
     "PREDEFINED",
+    "ProcessExecutor",
+    "SequentialExecutor",
     "SuperstepCost",
+    "ThreadExecutor",
+    "get_executor",
     "h_relation_of_matrix",
     "h_relation_of_messages",
     "one_relation",
+    "shutdown_executors",
 ]

@@ -29,16 +29,29 @@ class SuperstepCost:
     ``synchronized`` is False only for a trailing purely-local phase after
     the last barrier, which contributes computation time but neither
     communication nor an ``l`` term.
+
+    ``measured`` optionally carries per-process wall-clock seconds from
+    the executor layer (:meth:`~repro.bsp.machine.BspMachine.run_superstep`).
+    It is excluded from equality and hashing (``compare=False``): the
+    abstract cost decomposition is deterministic and backend-independent,
+    and the differential conformance harness relies on comparing it
+    bit-for-bit across backends, while measured time naturally varies.
     """
 
     work: Tuple[float, ...]
     relation: Optional[HRelation] = None
     synchronized: bool = True
     label: str = ""
+    measured: Optional[Tuple[float, ...]] = field(default=None, compare=False)
 
     @property
     def w_max(self) -> float:
         return max(self.work, default=0.0)
+
+    @property
+    def measured_max(self) -> float:
+        """Slowest process's measured compute seconds (0.0 if unmeasured)."""
+        return max(self.measured, default=0.0) if self.measured else 0.0
 
     @property
     def h(self) -> int:
@@ -72,6 +85,13 @@ class BspCost:
         """Number of synchronized supersteps (barriers executed)."""
         return sum(1 for step in self.supersteps if step.synchronized)
 
+    @property
+    def measured_seconds(self) -> float:
+        """Total measured wall-clock compute, BSP-style: the sum over
+        supersteps of the slowest process's seconds (the wall-clock
+        analogue of ``W``; 0.0 when nothing was measured)."""
+        return sum(step.measured_max for step in self.supersteps)
+
     def total(self, params: BspParams) -> float:
         """``W + H*g + S*l`` (equal to the sum of superstep times)."""
         return self.W + self.H * params.g + self.S * params.l
@@ -98,6 +118,11 @@ class BspCost:
                 f"  {'yes' if step.synchronized else 'no':>5}  {step.label}"
             )
         lines.append(f"  W = {self.W:.1f}, H = {self.H}, S = {self.S}")
+        if self.measured_seconds:
+            lines.append(
+                f"  measured compute = {self.measured_seconds * 1e3:.2f} ms "
+                "(wall clock, max over processes per superstep)"
+            )
         if params is not None:
             lines.append(
                 f"  total = W + H*g + S*l = {self.total(params):.1f}"

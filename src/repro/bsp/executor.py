@@ -1,0 +1,254 @@
+"""Pluggable parallel execution backends for the BSP substrate.
+
+The :class:`~repro.bsp.machine.BspMachine` *accounts* cost; an
+:class:`Executor` decides how the per-process computation phase of a
+superstep actually runs.  Three interchangeable backends sit behind one
+protocol:
+
+* :class:`SequentialExecutor` — the historical behaviour: run each task
+  in order on the calling thread (the default, and the reference
+  semantics the others are differentially tested against);
+* :class:`ThreadExecutor` — a shared ``ThreadPoolExecutor``; real
+  concurrency for I/O-ish workloads and a scheduling stress test for the
+  deterministic cost accounting;
+* :class:`ProcessExecutor` — a shared ``ProcessPoolExecutor``; true
+  multi-core parallelism for *picklable* per-process tasks, with a
+  per-task inline fallback (counted in ``bsp.backend.process.inline``)
+  for tasks that cannot cross a process boundary (closures over mutable
+  references, lambdas, whole BSML contexts).
+
+Every task is a zero-argument callable returning ``(value, ops)`` where
+``ops`` is the abstract local-work count to fold into the cost model.
+Executors measure per-task wall-clock seconds (*inside* the worker, so
+IPC and pickling overhead is excluded from compute time) and report
+:class:`TaskOutcome` records in task order.  Cost accounting therefore
+stays **backend-independent**: the abstract op counts are computed by the
+tasks themselves, deterministically, while the measured seconds ride
+alongside and never participate in :class:`~repro.bsp.cost.BspCost`
+equality.
+
+Error discipline: the sequential backend fails fast (exactly the old
+in-line behaviour); the concurrent backends run every task and report
+each task's error, and the machine re-raises the lowest-index one, so
+the *propagated* exception is deterministic across backends.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import perf
+
+#: A unit of per-process work: returns ``(value, abstract_op_count)``.
+Task = Callable[[], Any]
+
+#: The canonical backend names, in documentation order.
+BACKENDS = ("seq", "thread", "process")
+
+_ALIASES = {
+    "seq": "seq",
+    "sequential": "seq",
+    "thread": "thread",
+    "threads": "thread",
+    "process": "process",
+    "processes": "process",
+}
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task: a value, an error, or skipped.
+
+    ``seconds`` is the wall-clock compute time measured around the call
+    inside the worker (thread, child process, or the calling thread for
+    the sequential backend).
+    """
+
+    value: Any = None
+    seconds: float = 0.0
+    error: Optional[BaseException] = None
+    skipped: bool = False
+
+
+def _timed(task: Task) -> TaskOutcome:
+    """Run ``task`` and capture its value/error with wall-clock timing."""
+    start = time.perf_counter()
+    try:
+        value = task()
+    except Exception as error:
+        return TaskOutcome(error=error, seconds=time.perf_counter() - start)
+    return TaskOutcome(value=value, seconds=time.perf_counter() - start)
+
+
+def _run_pickled(blob: bytes) -> TaskOutcome:
+    """Worker entry point of :class:`ProcessExecutor` (module-level so it
+    is importable — hence picklable — in the child)."""
+    task = pickle.loads(blob)
+    return _timed(task)
+
+
+class SequentialExecutor:
+    """Run tasks one after another on the calling thread (fail-fast).
+
+    This is the reference backend: its interleaving is exactly the
+    historical in-line execution, so anything the differential harness
+    observes on it defines correctness for the others.
+    """
+
+    name = "seq"
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        failed = False
+        for task in tasks:
+            if failed:
+                outcomes.append(TaskOutcome(skipped=True))
+                continue
+            outcome = _timed(task)
+            outcomes.append(outcome)
+            failed = outcome.error is not None
+        return outcomes
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """Run tasks concurrently on a shared thread pool.
+
+    Re-entrant submissions (a task that itself opens a computation phase,
+    e.g. an improperly nested BSML ``mkpar``) are detected via a
+    thread-local flag and run inline instead of being queued — queueing
+    them behind the very task that is waiting for them would deadlock a
+    small pool.  The nesting itself is still rejected downstream by the
+    usual dynamic checks; the executor just refuses to die first.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers or min(16, 4 * (os.cpu_count() or 1))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._local = threading.local()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="bsp-proc"
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        if getattr(self._local, "in_worker", False):
+            return SequentialExecutor().run(tasks)
+        pool = self._ensure()
+        futures = [pool.submit(self._worker, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _worker(self, task: Task) -> TaskOutcome:
+        self._local.in_worker = True
+        try:
+            return _timed(task)
+        finally:
+            self._local.in_worker = False
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor:
+    """Run tasks on a shared process pool (``concurrent.futures``).
+
+    A task crosses the process boundary only if it pickles; tasks built
+    from module-level functions and picklable values (the ones the
+    evaluator and the BSML primitives construct) do, while closures over
+    live mutable state — references, pools, whole contexts — do not and
+    are executed inline in the parent, where their side effects land on
+    the real objects.  The same inline fallback catches a worker dying or
+    a result failing to pickle, so the backend is total: every task list
+    that the sequential backend can run, this one can too, with identical
+    values and identical cost accounting.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        futures: Dict[int, Any] = {}
+        for index, task in enumerate(tasks):
+            try:
+                blob = pickle.dumps(task)
+            except Exception:
+                continue  # unpicklable: runs inline below
+            try:
+                futures[index] = self._ensure().submit(_run_pickled, blob)
+            except Exception:
+                futures.pop(index, None)
+        for index, task in enumerate(tasks):
+            future = futures.get(index)
+            if future is not None:
+                try:
+                    outcomes[index] = future.result()
+                    continue
+                except BrokenExecutor:
+                    self._pool = None  # the pool is dead; rebuild lazily
+                except Exception:
+                    pass
+            perf.increment("bsp.backend.process.inline")
+            outcomes[index] = _timed(task)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Shared per-name instances so thread/process pools are reused across
+#: machines (pool startup dwarfs any superstep; see bench_backends.py).
+_SHARED: Dict[str, Any] = {}
+
+
+def get_executor(name: str = "seq"):
+    """The shared executor for ``name`` (``seq``, ``thread``, ``process``).
+
+    Aliases ``sequential``/``threads``/``processes`` are accepted.
+    Instances are lazily created and cached module-wide, so repeated
+    machines reuse one pool per backend.
+    """
+    try:
+        key = _ALIASES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (choose from {', '.join(BACKENDS)})"
+        ) from None
+    if key not in _SHARED:
+        _SHARED[key] = {
+            "seq": SequentialExecutor,
+            "thread": ThreadExecutor,
+            "process": ProcessExecutor,
+        }[key]()
+    return _SHARED[key]
+
+
+def shutdown_executors() -> None:
+    """Close every shared pool (tests and interpreter teardown)."""
+    for executor in _SHARED.values():
+        executor.close()

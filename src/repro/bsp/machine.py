@@ -11,14 +11,23 @@ A superstep is, per the BSP model, (1) local computation, (2) delivery of
 the requested h-relation, (3) a synchronization barrier.  ``exchange``
 performs (2)+(3) and opens the next superstep; ``barrier`` is an exchange
 with an empty relation (``if ... at ...`` uses an explicit small one).
+
+Since the executor layer (:mod:`repro.bsp.executor`) the machine also
+*executes*: :meth:`BspMachine.run_superstep` runs one task per process on
+a pluggable backend (sequential, threads, processes), folds the tasks'
+abstract op counts into the ``w_i`` work accounting, and records their
+measured wall-clock seconds alongside (carried on
+:class:`~repro.bsp.cost.SuperstepCost` but excluded from equality, so
+cost accounting stays backend-independent).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import perf
 from repro.bsp.cost import BspCost, SuperstepCost
+from repro.bsp.executor import SequentialExecutor, Task, get_executor
 from repro.bsp.network import HRelation, h_relation_of_matrix
 from repro.bsp.params import BspParams
 
@@ -53,15 +62,26 @@ NO_MESSAGE = _NoMessage()
 class BspMachine:
     """A ``p``-process BSP machine accumulating a :class:`BspCost`."""
 
-    def __init__(self, params: BspParams) -> None:
+    def __init__(self, params: BspParams, executor=None) -> None:
         self.params = params
+        self.executor = executor if executor is not None else SequentialExecutor()
         self._work: List[float] = [0.0] * params.p
+        self._elapsed: List[float] = [0.0] * params.p
         self._steps: List[SuperstepCost] = []
         self._mailboxes: List[Dict[int, object]] = [dict() for _ in range(params.p)]
 
     @property
     def p(self) -> int:
         return self.params.p
+
+    def use_backend(self, name: str) -> None:
+        """Switch to the (shared) executor named ``name``.
+
+        Only the execution strategy changes; accumulated cost, mailboxes
+        and the current superstep all carry over, because accounting is
+        backend-independent by construction.
+        """
+        self.executor = get_executor(name)
 
     # -- computation phase --------------------------------------------------
 
@@ -76,6 +96,51 @@ class BspMachine:
         replicated global control of an SPMD BSML program)."""
         for proc in range(self.p):
             self._work[proc] += ops
+
+    def run_superstep(self, tasks: Sequence[Task]) -> List[Any]:
+        """Execute the computation phase of a superstep on the backend.
+
+        ``tasks[i]`` is a zero-argument callable — process ``i``'s local
+        computation — returning ``(value, ops)``.  The abstract ``ops``
+        are folded into process ``i``'s ``w_i`` (exactly what the callers
+        used to account in-line, so costs are backend-independent), and
+        the measured wall-clock seconds accumulate separately until the
+        superstep closes.  Returns the values in process order.
+
+        The superstep is *not* closed: like ``mkpar``/``apply`` these are
+        asynchronous phases; the barrier still comes from
+        :meth:`exchange` or :meth:`barrier`.
+
+        When tasks fail, the lowest-index error is re-raised (after
+        accounting the tasks that did complete), which keeps the
+        propagated exception deterministic across backends.
+        """
+        if len(tasks) != self.p:
+            raise ValueError(f"expected {self.p} tasks, got {len(tasks)}")
+        outcomes = self.executor.run(tasks)
+        values: List[Any] = []
+        first_error: Optional[BaseException] = None
+        total_seconds = 0.0
+        for proc, outcome in enumerate(outcomes):
+            if outcome.error is not None:
+                if first_error is None:
+                    first_error = outcome.error
+                continue
+            if outcome.skipped:
+                continue
+            value, ops = outcome.value
+            self._work[proc] += ops
+            self._elapsed[proc] += outcome.seconds
+            total_seconds += outcome.seconds
+        if perf.is_collecting():
+            perf.increment(f"bsp.backend.{self.executor.name}.phases")
+            perf.increment(f"bsp.backend.{self.executor.name}.tasks", self.p)
+            perf.add_time(f"bsp.backend.{self.executor.name}.compute", total_seconds)
+        if first_error is not None:
+            raise first_error
+        for outcome in outcomes:
+            values.append(outcome.value[0])
+        return values
 
     # -- communication + synchronization phases ------------------------------
 
@@ -116,15 +181,16 @@ class BspMachine:
                         f"payload for ({src}, {dst}) but the traffic matrix "
                         "records 0 words sent — unaccounted communication"
                     )
-        self._mailboxes = [dict() for _ in range(self.p)]
-        if payloads:
-            for (src, dst), value in payloads.items():
-                self._mailboxes[dst][src] = value
-        self._close(relation, label)
+        self._close(relation, label, deliveries=payloads)
         return relation
 
     def barrier(self, label: str = "barrier") -> None:
-        """A pure synchronization: empty relation, still costs ``l``."""
+        """A pure synchronization: empty relation, still costs ``l``.
+
+        Like every barrier passage it clears the mailboxes: a payload is
+        readable only during the superstep immediately after its
+        exchange, never across a later barrier.
+        """
         self._close(HRelation((0,) * self.p, (0,) * self.p), label)
 
     def receive(self, proc: int, source: int):
@@ -144,11 +210,34 @@ class BspMachine:
 
     # -- results --------------------------------------------------------------
 
-    def _close(self, relation: HRelation, label: str) -> None:
+    def _close(
+        self,
+        relation: HRelation,
+        label: str,
+        deliveries: Optional[Dict[Tuple[int, int], object]] = None,
+    ) -> None:
+        """End the superstep: record its cost, clear delivery state, and
+        deliver the new payloads (if any) for the next superstep.
+
+        Clearing happens here — on *every* barrier passage — rather than
+        in :meth:`exchange`: a ``barrier()`` between an exchange and a
+        read must not leave stale payloads readable (regression: it did).
+        """
         self._steps.append(
-            SuperstepCost(tuple(self._work), relation, synchronized=True, label=label)
+            SuperstepCost(
+                tuple(self._work),
+                relation,
+                synchronized=True,
+                label=label,
+                measured=tuple(self._elapsed) if any(self._elapsed) else None,
+            )
         )
         self._work = [0.0] * self.p
+        self._elapsed = [0.0] * self.p
+        self._mailboxes = [dict() for _ in range(self.p)]
+        if deliveries:
+            for (src, dst), value in deliveries.items():
+                self._mailboxes[dst][src] = value
         if perf.is_collecting():
             perf.increment("bsp.supersteps")
             perf.increment("bsp.words_exchanged", relation.total_words)
@@ -159,7 +248,11 @@ class BspMachine:
         if any(work > 0 for work in self._work):
             steps.append(
                 SuperstepCost(
-                    tuple(self._work), None, synchronized=False, label="trailing local"
+                    tuple(self._work),
+                    None,
+                    synchronized=False,
+                    label="trailing local",
+                    measured=tuple(self._elapsed) if any(self._elapsed) else None,
                 )
             )
         return BspCost(self.p, steps)
@@ -170,5 +263,6 @@ class BspMachine:
     def reset(self) -> None:
         """Forget all accounting (mailboxes included)."""
         self._work = [0.0] * self.p
+        self._elapsed = [0.0] * self.p
         self._steps = []
         self._mailboxes = [dict() for _ in range(self.p)]

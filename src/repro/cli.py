@@ -72,6 +72,7 @@ def _command_run(args: argparse.Namespace) -> int:
         l=args.l,
         use_prelude=not args.no_prelude,
         typed=not args.untyped,
+        backend=args.backend,
     )
     print(result.python_value)
     if args.cost:
@@ -130,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--untyped", action="store_true", help="skip the static typecheck"
     )
+    run.add_argument(
+        "--backend",
+        choices=("seq", "thread", "process"),
+        default="seq",
+        help="execution backend for the per-process computation phases "
+        "(value and abstract cost are backend-independent)",
+    )
     run.set_defaults(handler=_command_run)
 
     tr = commands.add_parser("trace", help="print the small-step reduction")
@@ -155,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print perf counters and cache hit rates at exit (also :stats)",
     )
+    repl.add_argument(
+        "--backend",
+        choices=("seq", "thread", "process"),
+        default="seq",
+        help="initial execution backend (also :backend in the session)",
+    )
     repl.set_defaults(handler=_command_repl)
 
     return parser
@@ -167,6 +181,7 @@ def _command_repl(args: argparse.Namespace) -> int:
     return run_repl(
         params=BspParams(p=args.p, g=args.g, l=args.l),
         stats_at_exit=args.stats,
+        backend=args.backend,
     )
 
 

@@ -11,6 +11,7 @@ Meta-commands::
     :trace <expr>    print the small-step reduction sequence
     :cost            print the BSP cost accumulated so far
     :stats           print perf counters and solver-cache hit rates
+    :backend [name]  show or switch the execution backend (seq/thread/process)
     :reset           forget definitions and cost
     :p <n> [g] [l]   restart the machine with new BSP parameters
     :env             list the session's definitions
@@ -30,6 +31,7 @@ import sys
 from typing import Dict, Optional, TextIO
 
 from repro import perf
+from repro.bsp.executor import BACKENDS, get_executor
 from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
 from repro.core.infer import infer
@@ -52,14 +54,17 @@ from repro.semantics.values import Value, reify
 class Session:
     """One REPL session: typing environment, value environment, machine."""
 
-    def __init__(self, params: Optional[BspParams] = None) -> None:
+    def __init__(
+        self, params: Optional[BspParams] = None, backend: str = "seq"
+    ) -> None:
         self.params = params or BspParams(p=4, g=1.0, l=20.0)
+        self.backend = backend
         #: Session-long perf window, installed by :func:`run_repl`.
         self.perf_stats: Optional[perf.PerfStats] = None
         self.reset()
 
     def reset(self) -> None:
-        self.machine = BspMachine(self.params)
+        self.machine = BspMachine(self.params, executor=get_executor(self.backend))
         self.evaluator = Evaluator(self.params.p, self.machine)
         self.type_env: TypeEnv = prelude_env()
         self.values: Dict[str, Value] = {}
@@ -116,6 +121,26 @@ class Session:
             else:
                 print("perf collection is not active for this session", file=out)
             return True
+        if command == ":backend":
+            if not rest:
+                print(
+                    f"backend: {self.machine.executor.name} "
+                    f"(available: {', '.join(BACKENDS)})",
+                    file=out,
+                )
+                return True
+            try:
+                self.machine.use_backend(rest)
+            except ValueError as error:
+                print(f"error: {error}", file=out)
+                return True
+            self.backend = self.machine.executor.name
+            print(
+                f"backend switched to {self.machine.executor.name} "
+                "(definitions and accumulated cost carry over)",
+                file=out,
+            )
+            return True
         if command == ":reset":
             self.reset()
             print("session reset", file=out)
@@ -138,7 +163,7 @@ class Session:
             print(f"machine restarted: {self.params.describe()}", file=out)
             return True
         print(f"unknown command {command!r} (try :type :explain :trace :cost "
-              ":stats :reset :env :p :quit)", file=out)
+              ":stats :backend :reset :env :p :quit)", file=out)
         return True
 
     def _program(self, line: str, out: TextIO) -> None:
@@ -189,16 +214,19 @@ def run_repl(
     params: Optional[BspParams] = None,
     banner: bool = True,
     stats_at_exit: bool = False,
+    backend: str = "seq",
 ) -> int:
     """Run the REPL loop until EOF or ``:quit``.
 
     A session-long perf window is collected so ``:stats`` can report
     counters and solver-cache hit rates at any point; with
     ``stats_at_exit`` the final report is also printed when leaving.
+    ``backend`` picks the initial execution backend (``:backend``
+    switches it live).
     """
     stdin = input_stream if input_stream is not None else sys.stdin
     out = output_stream if output_stream is not None else sys.stdout
-    session = Session(params)
+    session = Session(params, backend=backend)
     interactive = stdin.isatty() if hasattr(stdin, "isatty") else False
     if banner:
         print(

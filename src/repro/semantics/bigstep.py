@@ -24,9 +24,11 @@ experiments need.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional
 
 from repro.bsp.machine import BspMachine
+from repro.lang.limits import deep_recursion
 from repro.lang.ast import (
     Annot,
     App,
@@ -85,10 +87,20 @@ class Evaluator:
         self.p = p
         self.machine = machine
         self._proc: Optional[int] = None  # None = replicated (global) context
+        # Component mode: a shadow evaluator running one process's share
+        # of a parallel operation on an execution backend counts its ops
+        # locally; the machine folds them in afterwards (deterministic
+        # and backend-independent, unlike charging a shared machine from
+        # concurrent workers).
+        self._counting = False
+        self._counted_ops = 0.0
 
     # -- cost plumbing ------------------------------------------------------
 
     def _charge(self, ops: float = 1.0) -> None:
+        if self._counting:
+            self._counted_ops += ops
+            return
         if self.machine is None:
             return
         if self._proc is None:
@@ -166,6 +178,12 @@ class Evaluator:
             arg = self._eval(expr.arg, env)
             return self.apply(fn, arg)
         if isinstance(expr, ParVec):
+            if self.machine is not None:
+                tasks = [
+                    partial(_literal_task, self.p, i, item, env)
+                    for i, item in enumerate(expr.items)
+                ]
+                return VParVec(tuple(self.machine.run_superstep(tasks)))
             components = []
             for i, item in enumerate(expr.items):
                 with self._on_proc(i):
@@ -288,6 +306,11 @@ class Evaluator:
     # -- the parallel operations ----------------------------------------------
 
     def _mkpar(self, fn: Value) -> Value:
+        if self.machine is not None:
+            tasks = [
+                partial(_component_task, self.p, i, fn, i) for i in range(self.p)
+            ]
+            return VParVec(tuple(self.machine.run_superstep(tasks)))
         components = []
         for i in range(self.p):
             with self._on_proc(i):
@@ -303,6 +326,12 @@ class Evaluator:
         ):
             raise EvalError("'apply' expects a pair of parallel vectors")
         fns, values = arg.first, arg.second
+        if self.machine is not None:
+            tasks = [
+                partial(_component_task, self.p, i, fns.items[i], values.items[i])
+                for i in range(self.p)
+            ]
+            return VParVec(tuple(self.machine.run_superstep(tasks)))
         components = []
         for i in range(self.p):
             with self._on_proc(i):
@@ -315,14 +344,20 @@ class Evaluator:
             raise EvalError("'put' expects a parallel vector of functions")
         p = self.p
         # Computation phase: sender j evaluates its message for every dst.
-        outgoing = []  # outgoing[j][i] = value from j to i
-        for j in range(p):
-            with self._on_proc(j):
-                row = []
-                for i in range(p):
-                    self._charge()
-                    row.append(self.apply(arg.items[j], i))
-                outgoing.append(row)
+        if self.machine is not None:
+            tasks = [
+                partial(_put_row_task, p, j, arg.items[j]) for j in range(p)
+            ]
+            outgoing = self.machine.run_superstep(tasks)
+        else:
+            outgoing = []  # outgoing[j][i] = value from j to i
+            for j in range(p):
+                with self._on_proc(j):
+                    row = []
+                    for i in range(p):
+                        self._charge()
+                        row.append(self.apply(arg.items[j], i))
+                    outgoing.append(row)
         # Communication + synchronization phase.
         if self.machine is not None:
             sent = [
@@ -365,6 +400,52 @@ class Evaluator:
             self.machine.exchange(sent, label="if-at")
         branch = expr.then_branch if chosen else expr.else_branch
         return self._eval(branch, env)
+
+
+# -- per-process tasks for the execution backends ----------------------------
+#
+# Module-level (hence picklable) functions building one process's share of
+# a parallel operation.  Each creates a *shadow* evaluator: machine-less,
+# pinned to the process, counting its ops locally.  The shadow enforces
+# the same locality discipline as the in-line path (its ``_proc`` is set,
+# so any nested parallel construct raises ``DynamicNestingError``), and
+# the op totals it returns are exactly what the in-line path would have
+# charged, so the folded cost is identical on every backend.
+
+
+def _shadow(p: int, proc: int) -> Evaluator:
+    shadow = Evaluator(p)
+    shadow._proc = proc
+    shadow._counting = True
+    return shadow
+
+
+def _component_task(p: int, proc: int, fn: Value, arg: Value):
+    """One ``mkpar``/``apply`` component: apply ``fn`` to ``arg`` on ``proc``."""
+    shadow = _shadow(p, proc)
+    with deep_recursion():
+        shadow._charge()
+        value = shadow.apply(fn, arg)
+    return value, shadow._counted_ops
+
+
+def _put_row_task(p: int, proc: int, sender: Value):
+    """One ``put`` sender: evaluate its message for every destination."""
+    shadow = _shadow(p, proc)
+    with deep_recursion():
+        row = []
+        for destination in range(p):
+            shadow._charge()
+            row.append(shadow.apply(sender, destination))
+    return row, shadow._counted_ops
+
+
+def _literal_task(p: int, proc: int, item: Expr, env: Env):
+    """One component of a literal parallel-vector expression."""
+    shadow = _shadow(p, proc)
+    with deep_recursion():
+        value = shadow._eval(item, env)
+    return value, shadow._counted_ops
 
 
 class _ProcContext:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from repro.bsp.cost import BspCost
+from repro.bsp.executor import get_executor
 from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
 from repro.lang.ast import Expr
@@ -47,14 +48,21 @@ def run_costed(
     expr: Expr,
     params: BspParams,
     use_prelude: bool = False,
+    backend: str = "seq",
 ) -> CostedResult:
     """Evaluate ``expr`` at size ``params.p`` with full cost accounting.
+
+    ``backend`` selects the execution backend for the per-process
+    computation phases (``seq``, ``thread`` or ``process``; see
+    :mod:`repro.bsp.executor`).  The value and the abstract cost are
+    identical on every backend — the differential harness in
+    :mod:`repro.testing.differential` enforces exactly that.
 
     Wrapped in :func:`deep_recursion` like the other evaluator entry
     points: prelude linking and evaluation both recurse over the AST, and
     a deep ``let`` tower is a legitimate program.
     """
-    machine = BspMachine(params)
+    machine = BspMachine(params, executor=get_executor(backend))
     with deep_recursion():
         program = with_prelude(expr) if use_prelude else expr
         value = Evaluator(params.p, machine).eval(program)
@@ -66,6 +74,7 @@ def run_source(
     params: BspParams,
     use_prelude: bool = True,
     filename: str = "<input>",
+    backend: str = "seq",
 ) -> CostedResult:
     """Parse a program (definitions + final expression) and run it costed."""
-    return run_costed(parse_program(source, filename), params, use_prelude)
+    return run_costed(parse_program(source, filename), params, use_prelude, backend)

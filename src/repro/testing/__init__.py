@@ -1,5 +1,13 @@
-"""Test support: type-directed random program generation."""
+"""Test support: type-directed random program generation and the
+differential backend-conformance harness."""
 
+from repro.testing.differential import (
+    BackendRun,
+    DifferentialReport,
+    assert_conformance,
+    conformance_corpus,
+    run_differential,
+)
 from repro.testing.generators import (
     CORPUS_GLOBAL,
     CORPUS_IMPERATIVE,
@@ -11,11 +19,16 @@ from repro.testing.generators import (
 )
 
 __all__ = [
+    "BackendRun",
     "CORPUS_GLOBAL",
     "CORPUS_IMPERATIVE",
     "CORPUS_LOCAL",
     "CORPUS_REJECTED",
+    "DifferentialReport",
     "ProgramGenerator",
+    "assert_conformance",
+    "conformance_corpus",
+    "run_differential",
     "unsafe_corpus",
     "well_typed_corpus",
 ]

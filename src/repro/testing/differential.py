@@ -1,0 +1,232 @@
+"""Differential conformance harness for the execution backends.
+
+The BSP cost model is deterministic by construction: the abstract op
+counts, traffic matrices and superstep structure of a program depend only
+on the program, never on scheduling.  So the executor layer
+(:mod:`repro.bsp.executor`) admits a brutally effective correctness
+check: run the *same* program under every backend and require
+
+* **bit-identical values** (compared by ``repr``, which is structural
+  for every runtime value and distinguishes ``True`` from ``1``), and
+* **bit-identical cost decompositions** — the full
+  :class:`~repro.bsp.cost.BspCost` superstep list, work tuples included
+  (wall-clock ``measured`` timings are excluded from
+  :class:`~repro.bsp.cost.SuperstepCost` equality precisely so this
+  comparison stays exact).
+
+Any divergence is a backend bug, not noise.  This is the "check the
+parallel implementation against the sequential specification" discipline
+of *Verified Scalable Parallel Computing with Why3* (Proust & Loulergue,
+2023), done empirically: :class:`SequentialExecutor` is the reference
+semantics and the concurrent backends must be observationally equal.
+
+Programs can be given three ways:
+
+* source text (parsed, optionally prelude-linked, evaluated costed);
+* a mini-BSML AST (:class:`~repro.lang.ast.Expr`);
+* a Python BSMLlib program — any callable taking a
+  :class:`~repro.bsml.primitives.Bsml` context and returning a value.
+
+A program that *raises* still conforms if every backend raises the same
+error (same type, same message) — the backends must agree on failure
+too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.bsp.cost import BspCost
+from repro.bsp.executor import BACKENDS, get_executor
+from repro.bsp.machine import BspMachine
+from repro.bsp.params import BspParams
+from repro.bsml.primitives import Bsml, ParVector
+from repro.lang.ast import Expr
+from repro.lang.parser import parse_program
+from repro.semantics.costed import run_costed
+
+#: Anything the harness can execute.
+Program = Union[str, Expr, Callable[[Bsml], Any]]
+
+
+@dataclass
+class BackendRun:
+    """One backend's observation of a program: value, cost, or error."""
+
+    backend: str
+    value_repr: Optional[str] = None
+    value: Any = None
+    cost: Optional[BspCost] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class DifferentialReport:
+    """All backends' observations of one program, with the verdict."""
+
+    description: str
+    runs: List[BackendRun] = field(default_factory=list)
+
+    @property
+    def reference(self) -> BackendRun:
+        """The first backend run — by convention the sequential one."""
+        return self.runs[0]
+
+    @property
+    def conforms(self) -> bool:
+        """True when every backend observed exactly the same thing."""
+        reference = self.reference
+        for run in self.runs[1:]:
+            if run.error != reference.error:
+                return False
+            if reference.ok and (
+                run.value_repr != reference.value_repr
+                or run.cost != reference.cost
+            ):
+                return False
+        return True
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the program ran without error on every backend."""
+        return all(run.ok for run in self.runs)
+
+    def explain(self) -> str:
+        """A human-readable account, detailed enough to debug from."""
+        lines = [
+            f"differential run of {self.description}:",
+            f"  verdict: {'CONFORMS' if self.conforms else 'DIVERGES'}",
+        ]
+        reference = self.reference
+        for run in self.runs:
+            lines.append(f"  [{run.backend}]")
+            if run.error is not None:
+                lines.append(f"    error: {run.error}")
+                continue
+            lines.append(f"    value: {run.value_repr}")
+            if run.cost is not None:
+                w, h, s = run.cost.W, run.cost.H, run.cost.S
+                lines.append(f"    cost:  W={w} H={h} S={s}")
+                if run is not reference and run.cost != reference.cost:
+                    lines.append("    cost differs from reference:")
+                    for line in run.cost.render().splitlines():
+                        lines.append(f"      {line}")
+        if not self.conforms and reference.ok and reference.cost is not None:
+            lines.append("  reference cost:")
+            for line in reference.cost.render().splitlines():
+                lines.append(f"    {line}")
+        return "\n".join(lines)
+
+
+def _describe(program: Program) -> str:
+    if isinstance(program, str):
+        head = " ".join(program.split())
+        return repr(head if len(head) <= 60 else head[:57] + "...")
+    if isinstance(program, Expr):
+        return f"<AST {type(program).__name__}>"
+    return f"<BSMLlib {getattr(program, '__name__', 'program')}>"
+
+
+def _observe_error(error: Exception) -> str:
+    return f"{type(error).__name__}: {error}"
+
+
+def run_differential(
+    program: Program,
+    params: Optional[BspParams] = None,
+    backends: Sequence[str] = BACKENDS,
+    use_prelude: Optional[bool] = None,
+) -> DifferentialReport:
+    """Run ``program`` under every backend and collect the observations.
+
+    ``use_prelude`` defaults to True for source text (so the shipped
+    ``programs/*.bsml`` and the curated corpora just work) and False for
+    a bare AST (generated programs are closed).  The first backend in
+    ``backends`` is the reference the others are compared against.
+    """
+    params = params or BspParams(p=4)
+    report = DifferentialReport(_describe(program))
+    if isinstance(program, (str, Expr)):
+        expr = parse_program(program) if isinstance(program, str) else program
+        prelude = use_prelude if use_prelude is not None else isinstance(program, str)
+        for backend in backends:
+            try:
+                result = run_costed(expr, params, use_prelude=prelude, backend=backend)
+            except Exception as error:
+                report.runs.append(BackendRun(backend, error=_observe_error(error)))
+                continue
+            report.runs.append(
+                BackendRun(
+                    backend,
+                    value_repr=repr(result.value),
+                    value=result.value,
+                    cost=result.cost,
+                )
+            )
+        return report
+    for backend in backends:
+        machine = BspMachine(params, executor=get_executor(backend))
+        context = Bsml(params, machine)
+        try:
+            value = program(context)
+        except Exception as error:
+            report.runs.append(BackendRun(backend, error=_observe_error(error)))
+            continue
+        shown = value.to_list() if isinstance(value, ParVector) else value
+        report.runs.append(
+            BackendRun(
+                backend,
+                value_repr=repr(shown),
+                value=shown,
+                cost=machine.cost(),
+            )
+        )
+    return report
+
+
+def assert_conformance(
+    program: Program,
+    params: Optional[BspParams] = None,
+    backends: Sequence[str] = BACKENDS,
+    use_prelude: Optional[bool] = None,
+    require_success: bool = False,
+) -> DifferentialReport:
+    """Run differentially and raise :class:`AssertionError` on divergence.
+
+    With ``require_success`` the program must also evaluate cleanly on
+    every backend (an agreed-upon error is otherwise conforming).
+    Returns the report so callers can make further assertions.
+    """
+    report = run_differential(program, params, backends, use_prelude)
+    if not report.conforms:
+        raise AssertionError(report.explain())
+    if require_success and not report.succeeded:
+        raise AssertionError(report.explain())
+    return report
+
+
+def conformance_corpus() -> List[Tuple[str, str]]:
+    """The standard corpus the sweep runs: every curated well-typed
+    program plus every shipped ``programs/*.bsml`` file, as
+    ``(name, source)`` pairs."""
+    from pathlib import Path
+
+    from repro.testing.generators import CORPUS_GLOBAL, CORPUS_IMPERATIVE, CORPUS_LOCAL
+
+    corpus: List[Tuple[str, str]] = []
+    for group, sources in (
+        ("local", CORPUS_LOCAL),
+        ("global", CORPUS_GLOBAL),
+        ("imperative", CORPUS_IMPERATIVE),
+    ):
+        for index, source in enumerate(sources):
+            corpus.append((f"{group}[{index}]", source))
+    programs_dir = Path(__file__).resolve().parents[3] / "programs"
+    for path in sorted(programs_dir.glob("*.bsml")):
+        corpus.append((path.name, path.read_text(encoding="utf-8")))
+    return corpus

@@ -130,6 +130,18 @@ class TestMailboxes:
         assert not NO_MESSAGE
         assert repr(NO_MESSAGE) == "NO_MESSAGE"
 
+    def test_barrier_clears_mailboxes(self):
+        # Regression: barrier() closed the superstep without clearing the
+        # delivery state, so a payload stayed readable across any number
+        # of later barriers — a message surviving a synchronization no
+        # exchange re-delivered it through.
+        m = machine(p=2)
+        m.exchange([[0, 1], [0, 0]], payloads={(0, 1): 42})
+        assert m.receive(1, 0) == 42
+        m.barrier()
+        assert m.receive(1, 0) is NO_MESSAGE
+        assert not m.has_message(1, 0)
+
 
 class TestExchangeValidation:
     """Regression: exchange used to deliver payloads without checking them
@@ -153,6 +165,50 @@ class TestExchangeValidation:
         m = machine(p=2)
         with pytest.raises(ValueError, match="unaccounted"):
             m.exchange([[0, 1], [0, 0]], payloads={(1, 0): "x"})
+
+
+class TestRunSuperstep:
+    def test_values_and_work_accounting(self):
+        m = machine(p=3)
+        values = m.run_superstep([lambda i=i: (i * 10, float(i + 1)) for i in range(3)])
+        assert values == [0, 10, 20]
+        m.barrier()
+        cost = m.cost()
+        assert cost.S == 1
+        assert cost.supersteps[0].work == (1.0, 2.0, 3.0)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expected 2 tasks"):
+            machine(p=2).run_superstep([lambda: (0, 0.0)])
+
+    def test_lowest_index_error_wins(self):
+        m = machine(p=3)
+
+        def fail(msg):
+            raise RuntimeError(msg)
+
+        with pytest.raises(RuntimeError, match="first"):
+            m.run_superstep(
+                [
+                    lambda: (0, 1.0),
+                    lambda: fail("first"),
+                    lambda: fail("second"),
+                ]
+            )
+
+    def test_measured_timings_recorded(self):
+        m = machine(p=2)
+        m.run_superstep([lambda: (0, 1.0), lambda: (1, 1.0)])
+        m.barrier()
+        step = m.cost().supersteps[0]
+        assert step.measured is not None
+        assert len(step.measured) == 2
+        assert all(seconds >= 0.0 for seconds in step.measured)
+        # Wall-clock timings never participate in cost equality.
+        bare = SuperstepCost(
+            work=step.work, relation=step.relation, label=step.label
+        )
+        assert step == bare
 
 
 class TestCostObjects:

@@ -158,3 +158,39 @@ class TestStats:
 
         run_repl(io.StringIO(""), io.StringIO(), params=BspParams(p=2))
         assert not perf.is_collecting()
+
+
+class TestBackendCommand:
+    def test_backend_shows_current_and_available(self):
+        out = drive(":backend")
+        assert "backend: seq" in out
+        assert "thread" in out and "process" in out
+
+    def test_backend_switch_preserves_session_state(self):
+        out = drive(
+            "let v = mkpar (fun i -> i * i)",
+            ":backend thread",
+            "bcast 3 v",
+            ":backend process",
+            "bcast 3 v",
+        )
+        assert "backend switched to thread" in out
+        assert "backend switched to process" in out
+        assert out.count("- : int par = <9, 9, 9, 9>") == 2
+
+    def test_backend_results_match_sequential(self):
+        program = "put (mkpar (fun s -> fun d -> s + d))"
+        expected = drive(program)
+        for backend in ("thread", "process"):
+            assert drive(f":backend {backend}", program).endswith(expected)
+
+    def test_unknown_backend_is_reported_not_fatal(self):
+        out = drive(":backend gpu", "1 + 1")
+        assert "error: unknown backend" in out
+        assert "- : int = 2" in out
+
+    def test_initial_backend_parameter(self):
+        out = io.StringIO()
+        session = Session(backend="thread")
+        session.handle(":backend", out)
+        assert "backend: thread" in out.getvalue()

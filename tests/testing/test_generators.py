@@ -6,6 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.infer import infer, typechecks
+from repro.core.milner import milner_typechecks
 from repro.core.types import TPar, render_type
 from repro.core.unify import unifiable
 from repro.lang.ast import Expr, IfAt, ParVec, Prim
@@ -106,6 +107,20 @@ class TestMutants:
     def test_mutants_are_ill_typed(self, seed):
         expr = ProgramGenerator(seed=seed).mutate_to_nesting(depth=3)
         assert not typechecks(expr)
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_mutants_separate_the_two_systems(self, seed):
+        """Every nesting mutant is exactly the paper's separating class:
+        the locality-constrained system rejects it while plain Milner
+        inference (no locality constraints) happily accepts it."""
+        expr = ProgramGenerator(seed=seed).mutate_to_nesting(depth=3)
+        assert not typechecks(expr), (
+            f"seed {seed}: constraint inference accepted a nesting mutant"
+        )
+        assert milner_typechecks(expr), (
+            f"seed {seed}: Milner rejected the mutant, so it does not "
+            "witness the locality constraints doing the work"
+        )
 
     def test_mutant_shapes_cycle(self):
         from repro.lang.ast import App
