@@ -1,0 +1,109 @@
+"""Benchmark — the fault-injection layer's disarmed overhead.
+
+The fault layer (``repro.bsp.faults``) promises to be free when it is
+not in use: a machine with **no plan armed** must run supersteps and
+exchanges at the same speed as before the layer existed, and even an
+**armed all-zero-rate plan** (the transactional bookkeeping is live, but
+no fault ever fires) must stay within 5% of the unarmed machine.  This
+bench asserts that guard and records the measurements; it also
+re-asserts the layer's correctness claim by checking that the armed
+zero-rate machine produces bit-identical values and costs.
+
+The regenerated table lands in ``benchmarks/results/faults.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+
+from repro.bsp.faults import FaultPlan, RetryPolicy
+from repro.bsp.machine import BspMachine
+from repro.bsp.params import BspParams
+
+from _util import write_table
+
+PARAMS = BspParams(p=4, g=2.0, l=50.0)
+
+#: Supersteps (each: one compute phase + one exchange) per measurement.
+REPS = 300
+
+#: Best-of-N wall-clock measurements (minimum filters scheduler noise).
+REPEATS = 7
+
+#: The disarmed-overhead guard: armed-with-zero-rates must cost at most
+#: this factor of the unarmed machine.
+MAX_OVERHEAD = 1.05
+
+
+def _unit_task(i):
+    return i * i, 1.0
+
+
+TASKS = [partial(_unit_task, i) for i in range(PARAMS.p)]
+SENT = [[0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 1], [1, 0, 0, 0]]
+PAYLOADS = {(0, 1): "a", (1, 2): "b", (2, 3): "c", (3, 0): "d"}
+
+
+def _build(armed: bool) -> BspMachine:
+    if armed:
+        return BspMachine(
+            PARAMS, faults=FaultPlan(seed=0), retry=RetryPolicy(max_attempts=3)
+        )
+    return BspMachine(PARAMS)
+
+
+def _drive(machine: BspMachine):
+    values = None
+    for _ in range(REPS):
+        values = machine.run_superstep(TASKS)
+        machine.exchange(SENT, payloads=dict(PAYLOADS), label="bench")
+    return values
+
+
+def _best_of(armed: bool) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        machine = _build(armed)
+        start = time.perf_counter()
+        _drive(machine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disarmed_fault_layer_is_free(benchmark):
+    # Correctness first: an armed zero-rate plan changes nothing.
+    clean, armed = _build(armed=False), _build(armed=True)
+    assert _drive(clean) == _drive(armed) == [0, 1, 4, 9]
+    assert clean.cost() == armed.cost()
+
+    unarmed_s = _best_of(armed=False)
+    armed_s = _best_of(armed=True)
+    ratio = armed_s / unarmed_s
+
+    write_table(
+        "faults",
+        f"Fault layer overhead — {REPS} supersteps (compute + exchange), "
+        f"p={PARAMS.p}, best of {REPEATS}",
+        ("machine", "total (ms)", "vs unarmed", "verdict"),
+        [
+            ("no plan armed", f"{unarmed_s * 1e3:.1f}", "1.00x", "reference"),
+            (
+                "zero-rate plan + retry policy armed",
+                f"{armed_s * 1e3:.1f}",
+                f"{ratio:.2f}x",
+                "within guard" if ratio <= MAX_OVERHEAD else "OVER BUDGET",
+            ),
+        ],
+        footer="Guard: an armed plan whose rates are all zero must cost "
+        f"<= {MAX_OVERHEAD:.2f}x the unarmed machine — the transactional "
+        "bookkeeping may not tax fault-free runs.",
+    )
+
+    assert ratio <= MAX_OVERHEAD, (
+        f"disarmed fault-layer overhead {ratio:.3f}x exceeds the "
+        f"{MAX_OVERHEAD:.2f}x budget ({armed_s * 1e3:.2f} ms vs "
+        f"{unarmed_s * 1e3:.2f} ms over {REPS} supersteps)"
+    )
+
+    benchmark(lambda: _drive(_build(armed=True)))

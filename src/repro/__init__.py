@@ -27,7 +27,15 @@ from __future__ import annotations
 
 from typing import Union
 
-from repro.bsp import BspCost, BspMachine, BspParams
+from repro.bsp import (
+    BspCost,
+    BspMachine,
+    BspParams,
+    FaultPlan,
+    RetryPolicy,
+    SuperstepFault,
+    parse_fault_spec,
+)
 from repro.core import (
     ConstrainedType,
     NestingError,
@@ -80,12 +88,19 @@ def run_program(
     use_prelude: bool = True,
     typed: bool = True,
     backend: str = "seq",
+    faults=None,
+    retry=None,
 ) -> CostedResult:
     """Typecheck (unless ``typed=False``) and run a program with costs.
 
     ``backend`` picks the execution backend (``seq``, ``thread``,
     ``process``) for the per-process computation phases; the value and
     the abstract cost are backend-independent.
+
+    ``faults``/``retry`` optionally arm a deterministic
+    :class:`repro.bsp.FaultPlan` and :class:`repro.bsp.RetryPolicy`:
+    supersteps run transactionally, transient faults are retried with
+    backoff, and a survivable fault schedule changes nothing observable.
 
     Returns a :class:`repro.semantics.CostedResult`: the value, the
     superstep-by-superstep BSP cost, and the totals under ``(p, g, l)``.
@@ -94,7 +109,13 @@ def run_program(
     if typed:
         typecheck(expr, use_prelude=use_prelude)
     runnable = with_prelude(expr) if use_prelude else expr
-    return run_costed(runnable, BspParams(p=p, g=g, l=l), backend=backend)
+    return run_costed(
+        runnable,
+        BspParams(p=p, g=g, l=l),
+        backend=backend,
+        faults=faults,
+        retry=retry,
+    )
 
 
 __all__ = [
@@ -103,7 +124,10 @@ __all__ = [
     "BspParams",
     "ConstrainedType",
     "CostedResult",
+    "FaultPlan",
     "NestingError",
+    "RetryPolicy",
+    "SuperstepFault",
     "TypeScheme",
     "TypingError",
     "__version__",
@@ -112,6 +136,7 @@ __all__ = [
     "infer_scheme",
     "milner_infer",
     "parse_expression",
+    "parse_fault_spec",
     "parse_program",
     "prelude_env",
     "pretty",

@@ -1,5 +1,5 @@
 """BSP substrate: machine parameters, superstep engine, cost accounting,
-and pluggable execution backends."""
+pluggable execution backends, and deterministic fault injection."""
 
 from repro.bsp.cost import BspCost, SuperstepCost
 from repro.bsp.executor import (
@@ -9,6 +9,22 @@ from repro.bsp.executor import (
     ThreadExecutor,
     get_executor,
     shutdown_executors,
+)
+from repro.bsp.faults import (
+    FAULT_KINDS,
+    BackendUnavailableError,
+    BrokenPool,
+    BspFaultError,
+    FaultPlan,
+    FaultSpecError,
+    MessageFault,
+    ProcOutcome,
+    RetryPolicy,
+    SuperstepFault,
+    TaskTimeout,
+    TransientFault,
+    WorkerCrash,
+    parse_fault_spec,
 )
 from repro.bsp.machine import BspMachine
 from repro.bsp.network import (
@@ -21,18 +37,32 @@ from repro.bsp.params import PREDEFINED, BspParams
 
 __all__ = [
     "BACKENDS",
+    "BackendUnavailableError",
+    "BrokenPool",
     "BspCost",
+    "BspFaultError",
     "BspMachine",
     "BspParams",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpecError",
     "HRelation",
+    "MessageFault",
     "PREDEFINED",
+    "ProcOutcome",
     "ProcessExecutor",
+    "RetryPolicy",
     "SequentialExecutor",
     "SuperstepCost",
+    "SuperstepFault",
+    "TaskTimeout",
     "ThreadExecutor",
+    "TransientFault",
+    "WorkerCrash",
     "get_executor",
     "h_relation_of_matrix",
     "h_relation_of_messages",
     "one_relation",
+    "parse_fault_spec",
     "shutdown_executors",
 ]

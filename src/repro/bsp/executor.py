@@ -30,7 +30,16 @@ equality.
 Error discipline: the sequential backend fails fast (exactly the old
 in-line behaviour); the concurrent backends run every task and report
 each task's error, and the machine re-raises the lowest-index one, so
-the *propagated* exception is deterministic across backends.
+the *propagated* exception is deterministic across backends.  **No
+executor path discards an exception silently**: an inline fallback
+records *why* it fell back on the outcome (``fallback_error``), an
+unexpected fallback cause is counted under
+``bsp.backend.process.fallback_error``, and a broken pool is reported as
+a per-task error (retryable at machine level — see
+:mod:`repro.bsp.faults`) rather than being papered over.  A backend
+whose pool cannot even start in this environment raises
+:class:`~repro.bsp.faults.BackendUnavailableError` with a one-line
+message naming the valid backends.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import perf
+from repro.bsp.faults import BackendUnavailableError
 
 #: A unit of per-process work: returns ``(value, abstract_op_count)``.
 Task = Callable[[], Any]
@@ -67,13 +77,17 @@ class TaskOutcome:
 
     ``seconds`` is the wall-clock compute time measured around the call
     inside the worker (thread, child process, or the calling thread for
-    the sequential backend).
+    the sequential backend).  ``fallback_error`` records *why* the
+    process backend ran this task inline instead of on the pool (the
+    pickling or submission failure) — the task may still have succeeded,
+    but the cause is never discarded.
     """
 
     value: Any = None
     seconds: float = 0.0
     error: Optional[BaseException] = None
     skipped: bool = False
+    fallback_error: Optional[str] = None
 
 
 def _timed(task: Task) -> TaskOutcome:
@@ -115,6 +129,12 @@ class SequentialExecutor:
             failed = outcome.error is not None
         return outcomes
 
+    def recycle(self) -> None:
+        """Replace the worker pool (no-op: there is none)."""
+
+    def ensure_available(self) -> None:
+        """Probe that the backend can run here (always true)."""
+
     def close(self) -> None:
         pass
 
@@ -139,9 +159,15 @@ class ThreadExecutor:
 
     def _ensure(self) -> ThreadPoolExecutor:
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers, thread_name_prefix="bsp-proc"
-            )
+            try:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers, thread_name_prefix="bsp-proc"
+                )
+            except Exception as error:
+                raise BackendUnavailableError(
+                    f"backend 'thread' is unavailable here ({error}); "
+                    f"valid backends: {', '.join(BACKENDS)}"
+                ) from error
         return self._pool
 
     def run(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
@@ -158,10 +184,26 @@ class ThreadExecutor:
         finally:
             self._local.in_worker = False
 
+    def recycle(self) -> None:
+        """Tear down the pool; the next phase builds a fresh one."""
+        self.close()
+
+    def ensure_available(self) -> None:
+        """Probe that a thread pool can be started here (eagerly)."""
+        self._ensure()
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+#: Exception types that mean "this object simply does not pickle" — the
+#: routine, by-design fallback signal for closures, lambdas and live
+#: contexts.  Anything else escaping ``pickle.dumps`` (a ``__reduce__``
+#: raising, a corrupted payload) is an *unexpected* failure and is
+#: counted under ``bsp.backend.process.fallback_error``.
+_EXPECTED_UNPICKLABLE = (pickle.PicklingError, TypeError, AttributeError)
 
 
 class ProcessExecutor:
@@ -172,10 +214,18 @@ class ProcessExecutor:
     evaluator and the BSML primitives construct) do, while closures over
     live mutable state — references, pools, whole contexts — do not and
     are executed inline in the parent, where their side effects land on
-    the real objects.  The same inline fallback catches a worker dying or
-    a result failing to pickle, so the backend is total: every task list
-    that the sequential backend can run, this one can too, with identical
-    values and identical cost accounting.
+    the real objects.  Every inline fallback records its cause on the
+    outcome (``fallback_error``) and an unexpected cause — a pickling
+    probe *raising* rather than politely refusing, or a result that
+    cannot come back — is additionally counted under
+    ``bsp.backend.process.fallback_error``; nothing is discarded.
+
+    A broken pool (a worker died mid-phase) is **not** silently papered
+    over: the affected tasks report the :class:`BrokenExecutor` as their
+    error — a transient, retryable condition — and the dead pool is
+    dropped so the next phase starts a fresh one.  The machine layer
+    decides whether to retry (``RetryPolicy``) or abort atomically
+    (:class:`~repro.bsp.faults.SuperstepFault`).
     """
 
     name = "process"
@@ -186,34 +236,73 @@ class ProcessExecutor:
 
     def _ensure(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+            except Exception as error:
+                raise BackendUnavailableError(
+                    f"backend 'process' is unavailable here ({error}); "
+                    f"valid backends: {', '.join(BACKENDS)}"
+                ) from error
         return self._pool
 
     def run(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
         outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         futures: Dict[int, Any] = {}
+        fallback_causes: Dict[int, BaseException] = {}
         for index, task in enumerate(tasks):
             try:
                 blob = pickle.dumps(task)
-            except Exception:
-                continue  # unpicklable: runs inline below
+            except Exception as error:
+                fallback_causes[index] = error  # runs inline below
+                continue
             try:
                 futures[index] = self._ensure().submit(_run_pickled, blob)
-            except Exception:
+            except BackendUnavailableError:
+                raise
+            except Exception as error:
                 futures.pop(index, None)
+                fallback_causes[index] = error
         for index, task in enumerate(tasks):
             future = futures.get(index)
             if future is not None:
                 try:
                     outcomes[index] = future.result()
                     continue
-                except BrokenExecutor:
-                    self._pool = None  # the pool is dead; rebuild lazily
-                except Exception:
-                    pass
+                except BrokenExecutor as error:
+                    # The pool died under this task.  Report it as the
+                    # task's (retryable) error and drop the dead pool so
+                    # the next phase — or a machine-level retry — gets a
+                    # fresh one.  Never run the task inline here: the
+                    # machine must decide whether a retry is allowed.
+                    self._pool = None
+                    perf.increment("bsp.backend.process.broken_pool")
+                    outcomes[index] = TaskOutcome(error=error)
+                    continue
+                except Exception as error:
+                    # The result could not come back (e.g. it does not
+                    # unpickle).  Fall back inline, but record why.
+                    fallback_causes[index] = error
+            cause = fallback_causes.get(index)
             perf.increment("bsp.backend.process.inline")
-            outcomes[index] = _timed(task)
+            if cause is not None and not isinstance(cause, _EXPECTED_UNPICKLABLE):
+                perf.increment("bsp.backend.process.fallback_error")
+            outcome = _timed(task)
+            if cause is not None:
+                outcome.fallback_error = f"{type(cause).__name__}: {cause}"
+            outcomes[index] = outcome
         return [outcome for outcome in outcomes if outcome is not None]
+
+    def recycle(self) -> None:
+        """Drop the current pool (fast); the next phase builds a fresh
+        one.  Used by the fault layer's injected broken-pool events and
+        safe to call on a healthy pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def ensure_available(self) -> None:
+        """Probe that a process pool can be started here (eagerly)."""
+        self._ensure()
 
     def close(self) -> None:
         if self._pool is not None:

@@ -65,6 +65,7 @@ def _command_typecheck(args: argparse.Namespace) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     expr = _load(args)
+    faults, retry = _parse_faults(args.faults)
     result = run_program(
         expr,
         p=args.p,
@@ -73,11 +74,22 @@ def _command_run(args: argparse.Namespace) -> int:
         use_prelude=not args.no_prelude,
         typed=not args.untyped,
         backend=args.backend,
+        faults=faults,
+        retry=retry,
     )
     print(result.python_value)
     if args.cost:
         print(result.render())
     return 0
+
+
+def _parse_faults(spec: Optional[str]):
+    """``--faults SPEC`` -> ``(FaultPlan, RetryPolicy)`` (or two Nones)."""
+    if not spec:
+        return None, None
+    from repro.bsp.faults import parse_fault_spec
+
+    return parse_fault_spec(spec)
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -138,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the per-process computation phases "
         "(value and abstract cost are backend-independent)",
     )
+    run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+        "'seed=42,crash=0.1,drop=0.05,attempts=4' (keys: seed, crash, "
+        "timeout, drop, dup, corrupt, pool, attempts, delay, jitter, "
+        "multiplier; a survivable plan changes nothing observable)",
+    )
     run.set_defaults(handler=_command_run)
 
     tr = commands.add_parser("trace", help="print the small-step reduction")
@@ -169,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="seq",
         help="initial execution backend (also :backend in the session)",
     )
+    repl.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="arm deterministic fault injection for the session "
+        "(also :faults in the session)",
+    )
     repl.set_defaults(handler=_command_repl)
 
     return parser
@@ -182,6 +208,7 @@ def _command_repl(args: argparse.Namespace) -> int:
         params=BspParams(p=args.p, g=args.g, l=args.l),
         stats_at_exit=args.stats,
         backend=args.backend,
+        fault_spec=args.faults,
     )
 
 

@@ -12,6 +12,8 @@ Meta-commands::
     :cost            print the BSP cost accumulated so far
     :stats           print perf counters and solver-cache hit rates
     :backend [name]  show or switch the execution backend (seq/thread/process)
+    :faults [SPEC]   show, arm (e.g. seed=42,crash=0.1,attempts=4) or
+                     disarm (:faults off) deterministic fault injection
     :reset           forget definitions and cost
     :p <n> [g] [l]   restart the machine with new BSP parameters
     :env             list the session's definitions
@@ -32,6 +34,7 @@ from typing import Dict, Optional, TextIO
 
 from repro import perf
 from repro.bsp.executor import BACKENDS, get_executor
+from repro.bsp.faults import FaultSpecError, parse_fault_spec
 from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
 from repro.core.infer import infer
@@ -55,16 +58,25 @@ class Session:
     """One REPL session: typing environment, value environment, machine."""
 
     def __init__(
-        self, params: Optional[BspParams] = None, backend: str = "seq"
+        self,
+        params: Optional[BspParams] = None,
+        backend: str = "seq",
+        fault_spec: Optional[str] = None,
     ) -> None:
         self.params = params or BspParams(p=4, g=1.0, l=20.0)
         self.backend = backend
+        #: The armed ``:faults`` spec (re-armed with a fresh plan, same
+        #: seed, on every :meth:`reset`); None when faults are off.
+        self.fault_spec = fault_spec
         #: Session-long perf window, installed by :func:`run_repl`.
         self.perf_stats: Optional[perf.PerfStats] = None
         self.reset()
 
     def reset(self) -> None:
         self.machine = BspMachine(self.params, executor=get_executor(self.backend))
+        if self.fault_spec:
+            plan, policy = parse_fault_spec(self.fault_spec)
+            self.machine.arm_faults(plan, policy)
         self.evaluator = Evaluator(self.params.p, self.machine)
         self.type_env: TypeEnv = prelude_env()
         self.values: Dict[str, Value] = {}
@@ -129,15 +141,51 @@ class Session:
                     file=out,
                 )
                 return True
+            previous = self.machine.executor
             try:
                 self.machine.use_backend(rest)
-            except ValueError as error:
+                # Probe eagerly so an unavailable pool is one clear line
+                # now, not a traceback at the next evaluation.
+                self.machine.executor.ensure_available()
+            except (ValueError, ReproError) as error:
+                self.machine.executor = previous
                 print(f"error: {error}", file=out)
                 return True
             self.backend = self.machine.executor.name
             print(
                 f"backend switched to {self.machine.executor.name} "
                 "(definitions and accumulated cost carry over)",
+                file=out,
+            )
+            return True
+        if command == ":faults":
+            if not rest:
+                plan, policy = self.machine.faults, self.machine.retry
+                if plan is None:
+                    print("faults: off", file=out)
+                else:
+                    print(
+                        f"faults: {plan.describe()}"
+                        + (f"; {policy.describe()}" if policy else "; no retry"),
+                        file=out,
+                    )
+                return True
+            if rest.lower() in ("off", "none", "clear"):
+                self.fault_spec = None
+                self.machine.disarm_faults()
+                print("faults disarmed", file=out)
+                return True
+            try:
+                plan, policy = parse_fault_spec(rest)
+            except FaultSpecError as error:
+                print(f"error: {error}", file=out)
+                return True
+            self.fault_spec = rest
+            self.machine.arm_faults(plan, policy)
+            print(
+                f"faults armed: {plan.describe()}"
+                + (f"; {policy.describe()}" if policy else "; no retry "
+                   "policy (every injected fault is fatal but atomic)"),
                 file=out,
             )
             return True
@@ -163,7 +211,7 @@ class Session:
             print(f"machine restarted: {self.params.describe()}", file=out)
             return True
         print(f"unknown command {command!r} (try :type :explain :trace :cost "
-              ":stats :backend :reset :env :p :quit)", file=out)
+              ":stats :backend :faults :reset :env :p :quit)", file=out)
         return True
 
     def _program(self, line: str, out: TextIO) -> None:
@@ -215,6 +263,7 @@ def run_repl(
     banner: bool = True,
     stats_at_exit: bool = False,
     backend: str = "seq",
+    fault_spec: Optional[str] = None,
 ) -> int:
     """Run the REPL loop until EOF or ``:quit``.
 
@@ -222,11 +271,12 @@ def run_repl(
     counters and solver-cache hit rates at any point; with
     ``stats_at_exit`` the final report is also printed when leaving.
     ``backend`` picks the initial execution backend (``:backend``
-    switches it live).
+    switches it live); ``fault_spec`` arms fault injection from the
+    start (``:faults`` shows, re-arms or disarms it live).
     """
     stdin = input_stream if input_stream is not None else sys.stdin
     out = output_stream if output_stream is not None else sys.stdout
-    session = Session(params, backend=backend)
+    session = Session(params, backend=backend, fault_spec=fault_spec)
     interactive = stdin.isatty() if hasattr(stdin, "isatty") else False
     if banner:
         print(

@@ -49,6 +49,8 @@ def run_costed(
     params: BspParams,
     use_prelude: bool = False,
     backend: str = "seq",
+    faults=None,
+    retry=None,
 ) -> CostedResult:
     """Evaluate ``expr`` at size ``params.p`` with full cost accounting.
 
@@ -58,11 +60,19 @@ def run_costed(
     identical on every backend — the differential harness in
     :mod:`repro.testing.differential` enforces exactly that.
 
+    ``faults``/``retry`` arm a :class:`~repro.bsp.faults.FaultPlan` and
+    :class:`~repro.bsp.faults.RetryPolicy` on the machine: supersteps
+    then run transactionally, transient faults are retried, and a
+    survivable fault schedule leaves value and cost bit-identical to a
+    fault-free run (the chaos conformance property).
+
     Wrapped in :func:`deep_recursion` like the other evaluator entry
     points: prelude linking and evaluation both recurse over the AST, and
     a deep ``let`` tower is a legitimate program.
     """
-    machine = BspMachine(params, executor=get_executor(backend))
+    machine = BspMachine(
+        params, executor=get_executor(backend), faults=faults, retry=retry
+    )
     with deep_recursion():
         program = with_prelude(expr) if use_prelude else expr
         value = Evaluator(params.p, machine).eval(program)
@@ -75,6 +85,10 @@ def run_source(
     use_prelude: bool = True,
     filename: str = "<input>",
     backend: str = "seq",
+    faults=None,
+    retry=None,
 ) -> CostedResult:
     """Parse a program (definitions + final expression) and run it costed."""
-    return run_costed(parse_program(source, filename), params, use_prelude, backend)
+    return run_costed(
+        parse_program(source, filename), params, use_prelude, backend, faults, retry
+    )

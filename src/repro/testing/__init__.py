@@ -2,10 +2,16 @@
 differential backend-conformance harness."""
 
 from repro.testing.differential import (
+    DEFAULT_CHAOS_POLICY,
+    DEFAULT_CHAOS_RATES,
     BackendRun,
+    ChaosReport,
+    ChaosRun,
     DifferentialReport,
+    assert_chaos_conformance,
     assert_conformance,
     conformance_corpus,
+    run_chaos,
     run_differential,
 )
 from repro.testing.generators import (
@@ -24,10 +30,16 @@ __all__ = [
     "CORPUS_IMPERATIVE",
     "CORPUS_LOCAL",
     "CORPUS_REJECTED",
+    "ChaosReport",
+    "ChaosRun",
+    "DEFAULT_CHAOS_POLICY",
+    "DEFAULT_CHAOS_RATES",
     "DifferentialReport",
     "ProgramGenerator",
+    "assert_chaos_conformance",
     "assert_conformance",
     "conformance_corpus",
+    "run_chaos",
     "run_differential",
     "unsafe_corpus",
     "well_typed_corpus",

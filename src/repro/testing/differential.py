@@ -30,15 +30,29 @@ Programs can be given three ways:
 A program that *raises* still conforms if every backend raises the same
 error (same type, same message) — the backends must agree on failure
 too.
+
+**Chaos conformance** (:func:`run_chaos`, :func:`assert_chaos_conformance`)
+extends the discipline to the fault layer (:mod:`repro.bsp.faults`): the
+same program runs once cleanly (the sequential reference) and then on
+every backend under a seeded :class:`~repro.bsp.faults.FaultPlan` with a
+:class:`~repro.bsp.faults.RetryPolicy`.  Because the plan's decisions are
+drawn at machine level in program order, all backends see the *same*
+fault schedule, so the verdict is sharp: a **survivable** plan (the run
+completes) must be observationally invisible — values and ``BspCost``
+bit-identical to the clean reference — and an **unsurvivable** plan must
+fail atomically on every backend with the same
+:class:`~repro.bsp.faults.SuperstepFault` and the machine rolled back to
+its pre-superstep state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bsp.cost import BspCost
 from repro.bsp.executor import BACKENDS, get_executor
+from repro.bsp.faults import FaultPlan, RetryPolicy, SuperstepFault
 from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
 from repro.bsml.primitives import Bsml, ParVector
@@ -206,6 +220,219 @@ def assert_conformance(
     if not report.conforms:
         raise AssertionError(report.explain())
     if require_success and not report.succeeded:
+        raise AssertionError(report.explain())
+    return report
+
+
+# -- chaos conformance --------------------------------------------------------
+
+#: Default per-site fault rates for the chaos sweep: high enough that
+#: most plans inject *something*, low enough that the default retry
+#: policy survives the large majority of them.
+DEFAULT_CHAOS_RATES: Dict[str, float] = {
+    "crash": 0.08,
+    "timeout": 0.05,
+    "drop": 0.06,
+    "dup": 0.03,
+    "corrupt": 0.03,
+    "pool": 0.01,
+}
+
+#: Default retry policy for chaos runs (no real sleeping in test sweeps).
+DEFAULT_CHAOS_POLICY = RetryPolicy(max_attempts=4, base_delay=0.0)
+
+
+@dataclass
+class ChaosRun:
+    """One backend's observation of a program under an armed fault plan."""
+
+    backend: str
+    value_repr: Optional[str] = None
+    cost: Optional[BspCost] = None
+    error: Optional[str] = None
+    faulted: bool = False  # the run ended in a SuperstepFault
+    state_restored: Optional[bool] = None  # SuperstepFault's atomicity bit
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ChaosReport:
+    """A clean reference plus every backend's run under the same plan."""
+
+    description: str
+    seed: int
+    reference: BackendRun
+    runs: List[ChaosRun] = field(default_factory=list)
+
+    @property
+    def survivable(self) -> bool:
+        """True when every faulted backend run completed."""
+        return all(run.ok for run in self.runs)
+
+    @property
+    def conforms(self) -> bool:
+        """The chaos verdict.
+
+        * Every run completed: each must match the clean reference
+          bit-for-bit (value ``repr`` and full ``BspCost``).
+        * Some run raised :class:`SuperstepFault`: *every* run must have
+          raised the same one (same message — the plan is deterministic,
+          so the failing phase and outcome table agree), each atomically.
+        * The reference itself failed (a program bug): every run must
+          fail the same way.
+        """
+        reference = self.reference
+        if reference.error is not None:
+            return all(run.error == reference.error for run in self.runs)
+        if any(run.faulted for run in self.runs):
+            first = self.runs[0]
+            return all(
+                run.faulted
+                and run.state_restored
+                and run.error == first.error
+                for run in self.runs
+            )
+        return all(
+            run.ok
+            and run.value_repr == reference.value_repr
+            and run.cost == reference.cost
+            for run in self.runs
+        )
+
+    def explain(self) -> str:
+        lines = [
+            f"chaos run of {self.description} (plan seed {self.seed}):",
+            f"  verdict: {'CONFORMS' if self.conforms else 'DIVERGES'} "
+            f"({'survivable' if self.survivable else 'unsurvivable'})",
+            f"  [clean reference] value: {self.reference.value_repr}"
+            if self.reference.ok
+            else f"  [clean reference] error: {self.reference.error}",
+        ]
+        for run in self.runs:
+            lines.append(f"  [{run.backend}]")
+            if run.error is not None:
+                kind = "superstep fault" if run.faulted else "error"
+                lines.append(f"    {kind}: {run.error}")
+                if run.faulted:
+                    lines.append(f"    state restored: {run.state_restored}")
+                continue
+            lines.append(f"    value: {run.value_repr}")
+            if run.cost is not None:
+                lines.append(
+                    f"    cost:  W={run.cost.W} H={run.cost.H} S={run.cost.S}"
+                    + (
+                        ""
+                        if run.cost == self.reference.cost
+                        else "  (differs from clean reference)"
+                    )
+                )
+        return "\n".join(lines)
+
+
+def _chaos_observe(
+    program: Program,
+    params: BspParams,
+    backend: str,
+    plan: Optional[FaultPlan],
+    policy: Optional[RetryPolicy],
+    use_prelude: Optional[bool],
+):
+    """Run once; return ``(value_repr, cost, error, faulted, restored)``."""
+    if isinstance(program, (str, Expr)):
+        expr = parse_program(program) if isinstance(program, str) else program
+        prelude = use_prelude if use_prelude is not None else isinstance(program, str)
+        try:
+            result = run_costed(
+                expr,
+                params,
+                use_prelude=prelude,
+                backend=backend,
+                faults=plan,
+                retry=policy,
+            )
+        except SuperstepFault as fault:
+            return None, None, _observe_error(fault), True, fault.state_restored
+        except Exception as error:
+            return None, None, _observe_error(error), False, None
+        return repr(result.value), result.cost, None, False, None
+    machine = BspMachine(
+        params, executor=get_executor(backend), faults=plan, retry=policy
+    )
+    context = Bsml(params, machine)
+    try:
+        value = program(context)
+    except SuperstepFault as fault:
+        # The machine promises atomicity; double-check that whatever
+        # committed before the failed phase still decomposes cleanly.
+        restored = fault.state_restored and machine.cost().check_decomposition(
+            params
+        )
+        return None, None, _observe_error(fault), True, restored
+    except Exception as error:
+        return None, None, _observe_error(error), False, None
+    shown = value.to_list() if isinstance(value, ParVector) else value
+    return repr(shown), machine.cost(), None, False, None
+
+
+def run_chaos(
+    program: Program,
+    params: Optional[BspParams] = None,
+    seed: int = 0,
+    rates: Optional[Dict[str, float]] = None,
+    policy: Optional[RetryPolicy] = DEFAULT_CHAOS_POLICY,
+    backends: Sequence[str] = BACKENDS,
+    use_prelude: Optional[bool] = None,
+) -> ChaosReport:
+    """Run ``program`` cleanly once, then under the seeded fault plan on
+    every backend, and collect the observations.
+
+    Each backend gets a **fresh plan from the same seed and rates**, so
+    all of them replay the identical fault schedule; the clean sequential
+    run is the reference the faulted runs must be indistinguishable from.
+    """
+    params = params or BspParams(p=4)
+    rates = dict(DEFAULT_CHAOS_RATES if rates is None else rates)
+    value_repr, cost, error, _, _ = _chaos_observe(
+        program, params, "seq", None, None, use_prelude
+    )
+    reference = BackendRun(
+        "seq (clean)", value_repr=value_repr, cost=cost, error=error
+    )
+    report = ChaosReport(_describe(program), seed, reference)
+    for backend in backends:
+        plan = FaultPlan(seed=seed, **rates)
+        value_repr, cost, error, faulted, restored = _chaos_observe(
+            program, params, backend, plan, policy, use_prelude
+        )
+        report.runs.append(
+            ChaosRun(
+                backend,
+                value_repr=value_repr,
+                cost=cost,
+                error=error,
+                faulted=faulted,
+                state_restored=restored,
+            )
+        )
+    return report
+
+
+def assert_chaos_conformance(
+    program: Program,
+    params: Optional[BspParams] = None,
+    seed: int = 0,
+    rates: Optional[Dict[str, float]] = None,
+    policy: Optional[RetryPolicy] = DEFAULT_CHAOS_POLICY,
+    backends: Sequence[str] = BACKENDS,
+    use_prelude: Optional[bool] = None,
+) -> ChaosReport:
+    """Run :func:`run_chaos` and raise :class:`AssertionError` unless the
+    chaos verdict holds.  Returns the report for further assertions."""
+    report = run_chaos(program, params, seed, rates, policy, backends, use_prelude)
+    if not report.conforms:
         raise AssertionError(report.explain())
     return report
 

@@ -228,3 +228,44 @@ class TestCostObjects:
         text = m.cost().render(m.params)
         assert "hello" in text
         assert "total" in text
+
+
+class TestSuperstepAtomicity:
+    """Satellite regression: a task failing mid-superstep must not leave
+    partially-committed work behind (the old code folded each completed
+    outcome into ``_work``/``_elapsed`` before noticing the failure, so
+    catch-and-retry produced a corrupt cost decomposition)."""
+
+    def _tasks(self, p, boom_at=None):
+        def make(i):
+            if i == boom_at:
+                def boom():
+                    raise RuntimeError(f"proc {i} exploded")
+                return boom
+            return lambda i=i: (i, 10.0)
+        return [make(i) for i in range(p)]
+
+    def test_failed_superstep_commits_nothing(self):
+        m = machine()
+        m.run_superstep(self._tasks(4))  # a clean superstep to have state
+        before = m.state_fingerprint()
+        with pytest.raises(RuntimeError, match="proc 2 exploded"):
+            m.run_superstep(self._tasks(4, boom_at=2))
+        # Procs 0 and 1 succeeded before the failure, but none of their
+        # work may have been committed.
+        assert m.state_fingerprint() == before
+
+    def test_catch_and_retry_keeps_cost_decomposition_valid(self):
+        m = machine()
+        try:
+            m.run_superstep(self._tasks(4, boom_at=1))
+        except RuntimeError:
+            pass  # a caller catching the error and retrying...
+        values = m.run_superstep(self._tasks(4))
+        m.barrier()
+        assert values == [0, 1, 2, 3]
+        cost = m.cost()
+        # Exactly one superstep's work: 10 ops per proc, max = 10.
+        assert cost.W == 10.0
+        assert cost.S == 1
+        assert cost.check_decomposition(m.params)

@@ -245,3 +245,99 @@ class TestBackendFlag:
         with pytest.raises(SystemExit) as excinfo:
             run_cli(capsys, "run", "--backend", "gpu", "-e", "1")
         assert excinfo.value.code == 2
+
+
+class TestFaultsFlag:
+    PROGRAM = "bcast 1 (mkpar (fun i -> i * i))"
+
+    @staticmethod
+    def _abstract(out):
+        """Drop measured wall-clock lines: only the *abstract* value and
+        cost are promised to be identical under survivable faults."""
+        return "\n".join(
+            line for line in out.splitlines() if "wall" not in line
+        )
+
+    def test_survivable_faults_change_nothing_observable(self, capsys):
+        clean = run_cli(capsys, "run", "-e", self.PROGRAM, "--cost")
+        chaotic = run_cli(
+            capsys,
+            "run",
+            "-e",
+            self.PROGRAM,
+            "--cost",
+            "--faults",
+            "seed=9,crash=0.3,drop=0.2,attempts=6",
+        )
+        assert clean[0] == chaotic[0] == 0
+        # stdout (value + abstract cost table) identical
+        assert self._abstract(clean[1]) == self._abstract(chaotic[1])
+
+    def test_faults_work_on_every_backend(self, capsys):
+        outputs = []
+        for backend in ("seq", "thread", "process"):
+            code, out, _ = run_cli(
+                capsys,
+                "run",
+                "-e",
+                self.PROGRAM,
+                "--cost",
+                "--backend",
+                backend,
+                "--faults",
+                "seed=9,crash=0.3,drop=0.2,attempts=6",
+            )
+            assert code == 0
+            outputs.append(self._abstract(out))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_bad_spec_is_a_one_line_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "-e", "1", "--faults", "crash=lots"
+        )
+        assert code == 1
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unknown_spec_key_names_the_valid_keys(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "-e", "1", "--faults", "warp=0.5"
+        )
+        assert code == 1
+        assert "warp" in err and "crash" in err
+
+    def test_unsurvivable_plan_is_a_one_line_error(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "run",
+            "-e",
+            self.PROGRAM,
+            "--faults",
+            "seed=1,crash=1.0",
+        )
+        assert code == 1
+        assert err.startswith("error: superstep")
+        assert "rolled back" in err
+        assert "Traceback" not in err
+
+
+class TestBackendErrors:
+    """Satellite: a backend that cannot start must be one clear line."""
+
+    def test_unavailable_backend_is_a_one_line_error(self, capsys, monkeypatch):
+        import repro.bsp.executor as executor_mod
+
+        class _NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no threads allowed in this sandbox")
+
+        monkeypatch.delitem(executor_mod._SHARED, "thread", raising=False)
+        monkeypatch.setattr(executor_mod, "ThreadPoolExecutor", _NoPool)
+        code, _, err = run_cli(
+            capsys, "run", "-e", "mkpar (fun i -> i)", "--backend", "thread"
+        )
+        monkeypatch.delitem(executor_mod._SHARED, "thread", raising=False)
+        assert code == 1
+        assert err.startswith("error: backend 'thread' is unavailable")
+        assert "valid backends: seq, thread, process" in err
+        assert "Traceback" not in err
