@@ -108,15 +108,30 @@ class BspCost:
         return math.isclose(by_steps, self.total(params), rel_tol=1e-9, abs_tol=1e-9)
 
     def render(self, params: Optional[BspParams] = None) -> str:
-        """A human-readable superstep table."""
+        """A human-readable superstep table.
+
+        When any superstep carries backend wall-clock timings
+        (``SuperstepCost.measured``) a ``measured ms`` column appears
+        next to the modelled ``max w``, so modelled versus measured cost
+        is visible per superstep without a full trace.
+        """
         lines = [f"BSP cost over p={self.p} processes:"]
-        header = f"  {'step':>4}  {'max w':>10}  {'h':>8}  {'sync':>5}  label"
-        lines.append(header)
+        measured = any(step.measured for step in self.supersteps)
+        header = f"  {'step':>4}  {'max w':>10}  {'h':>8}  {'sync':>5}"
+        if measured:
+            header += f"  {'measured ms':>12}"
+        lines.append(header + "  label")
         for number, step in enumerate(self.supersteps):
-            lines.append(
+            row = (
                 f"  {number:>4}  {step.w_max:>10.1f}  {step.h:>8}"
-                f"  {'yes' if step.synchronized else 'no':>5}  {step.label}"
+                f"  {'yes' if step.synchronized else 'no':>5}"
             )
+            if measured:
+                shown = (
+                    f"{step.measured_max * 1e3:.3f}" if step.measured else "-"
+                )
+                row += f"  {shown:>12}"
+            lines.append(row + f"  {step.label}")
         lines.append(f"  W = {self.W:.1f}, H = {self.H}, S = {self.S}")
         if self.measured_seconds:
             lines.append(

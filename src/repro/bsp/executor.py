@@ -52,7 +52,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolEx
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro import perf
+from repro import obs, perf
 from repro.bsp.faults import BackendUnavailableError
 
 #: A unit of per-process work: returns ``(value, abstract_op_count)``.
@@ -77,14 +77,17 @@ class TaskOutcome:
 
     ``seconds`` is the wall-clock compute time measured around the call
     inside the worker (thread, child process, or the calling thread for
-    the sequential backend).  ``fallback_error`` records *why* the
-    process backend ran this task inline instead of on the pool (the
-    pickling or submission failure) — the task may still have succeeded,
-    but the cause is never discarded.
+    the sequential backend); ``started`` is the worker's
+    ``perf_counter`` at call time, so the tracing layer
+    (:mod:`repro.obs`) can place the task on its process's timeline.
+    ``fallback_error`` records *why* the process backend ran this task
+    inline instead of on the pool (the pickling or submission failure) —
+    the task may still have succeeded, but the cause is never discarded.
     """
 
     value: Any = None
     seconds: float = 0.0
+    started: float = 0.0
     error: Optional[BaseException] = None
     skipped: bool = False
     fallback_error: Optional[str] = None
@@ -96,8 +99,12 @@ def _timed(task: Task) -> TaskOutcome:
     try:
         value = task()
     except Exception as error:
-        return TaskOutcome(error=error, seconds=time.perf_counter() - start)
-    return TaskOutcome(value=value, seconds=time.perf_counter() - start)
+        return TaskOutcome(
+            error=error, seconds=time.perf_counter() - start, started=start
+        )
+    return TaskOutcome(
+        value=value, seconds=time.perf_counter() - start, started=start
+    )
 
 
 def _run_pickled(blob: bytes) -> TaskOutcome:
@@ -172,6 +179,13 @@ class ThreadExecutor:
 
     def run(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
         if getattr(self._local, "in_worker", False):
+            if obs.is_tracing():
+                obs.event(
+                    "backend.reentrant_inline",
+                    obs.MACHINE_TRACK,
+                    backend=self.name,
+                    tasks=len(tasks),
+                )
             return SequentialExecutor().run(tasks)
         pool = self._ensure()
         futures = [pool.submit(self._worker, task) for task in tasks]
@@ -186,6 +200,8 @@ class ThreadExecutor:
 
     def recycle(self) -> None:
         """Tear down the pool; the next phase builds a fresh one."""
+        if obs.is_tracing():
+            obs.event("backend.recycle", obs.MACHINE_TRACK, backend=self.name)
         self.close()
 
     def ensure_available(self) -> None:
@@ -276,6 +292,13 @@ class ProcessExecutor:
                     # machine must decide whether a retry is allowed.
                     self._pool = None
                     perf.increment("bsp.backend.process.broken_pool")
+                    if obs.is_tracing():
+                        obs.event(
+                            "backend.broken_pool",
+                            obs.MACHINE_TRACK,
+                            backend=self.name,
+                            slot=index,
+                        )
                     outcomes[index] = TaskOutcome(error=error)
                     continue
                 except Exception as error:
@@ -286,6 +309,20 @@ class ProcessExecutor:
             perf.increment("bsp.backend.process.inline")
             if cause is not None and not isinstance(cause, _EXPECTED_UNPICKLABLE):
                 perf.increment("bsp.backend.process.fallback_error")
+            if obs.is_tracing():
+                obs.event(
+                    "backend.fallback",
+                    obs.MACHINE_TRACK,
+                    backend=self.name,
+                    slot=index,
+                    cause=(
+                        f"{type(cause).__name__}: {cause}"
+                        if cause is not None
+                        else "unpicklable"
+                    ),
+                    expected=cause is None
+                    or isinstance(cause, _EXPECTED_UNPICKLABLE),
+                )
             outcome = _timed(task)
             if cause is not None:
                 outcome.fallback_error = f"{type(cause).__name__}: {cause}"
@@ -296,6 +333,8 @@ class ProcessExecutor:
         """Drop the current pool (fast); the next phase builds a fresh
         one.  Used by the fault layer's injected broken-pool events and
         safe to call on a healthy pool."""
+        if obs.is_tracing():
+            obs.event("backend.recycle", obs.MACHINE_TRACK, backend=self.name)
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -47,6 +47,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.lang.errors import ReproError
 
 #: The injectable fault kinds, in documentation order.
@@ -256,27 +257,42 @@ class FaultPlan:
     # -- draws (coordinator-side, deterministic order) ----------------------
 
     def draw_task_faults(self, procs: Sequence[int]) -> Dict[int, str]:
-        """Which of ``procs`` get a crash/timeout injected this attempt."""
+        """Which of ``procs`` get a crash/timeout injected this attempt.
+
+        Each injection is also recorded as a ``fault`` trace event on the
+        owning process's track (:mod:`repro.obs`) carrying the drawn
+        outcome — the draws are machine-side and in program order, so the
+        events are bit-identical across execution backends.
+        """
         injected: Dict[int, str] = {}
         if not self.task_faults_active:
             return injected
         for proc in procs:
             if self.crash > 0.0 and self._rng.random() < self.crash:
                 injected[proc] = "crash"
-                continue
-            if self.timeout > 0.0 and self._rng.random() < self.timeout:
+            elif self.timeout > 0.0 and self._rng.random() < self.timeout:
                 injected[proc] = "timeout"
+        if injected and obs.is_tracing():
+            for proc, kind in injected.items():
+                obs.event(
+                    "fault", obs.process_track(proc), kind=kind, proc=proc
+                )
         return injected
 
     def draw_pool_break(self) -> bool:
         """Does the worker pool break on this computation attempt?"""
-        return self.pool_faults_active and self._rng.random() < self.pool
+        broke = self.pool_faults_active and self._rng.random() < self.pool
+        if broke and obs.is_tracing():
+            obs.event("fault", obs.MACHINE_TRACK, kind="pool")
+        return broke
 
     def draw_message_faults(
         self, keys: Sequence[Tuple[int, int]]
     ) -> Dict[Tuple[int, int], str]:
         """Which in-flight ``(src, dst)`` messages get injured this
-        delivery attempt, and how."""
+        delivery attempt, and how.  Each injury is recorded as a
+        ``fault`` trace event on the *sender's* track (the process that
+        owns the failed delivery)."""
         injected: Dict[Tuple[int, int], str] = {}
         if not self.message_faults_active:
             return injected
@@ -286,6 +302,15 @@ class FaultPlan:
                 if rate > 0.0 and self._rng.random() < rate:
                     injected[key] = kind
                     break
+        if injected and obs.is_tracing():
+            for (src, dst), kind in injected.items():
+                obs.event(
+                    "fault",
+                    obs.process_track(src),
+                    kind=kind,
+                    src=src,
+                    dst=dst,
+                )
         return injected
 
     def describe(self) -> str:

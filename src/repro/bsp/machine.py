@@ -42,7 +42,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from concurrent.futures import BrokenExecutor
 
-from repro import perf
+from repro import obs, perf
 from repro.bsp.cost import BspCost, SuperstepCost
 from repro.bsp.executor import (
     SequentialExecutor,
@@ -231,6 +231,22 @@ class BspMachine:
         """
         if len(tasks) != self.p:
             raise ValueError(f"expected {self.p} tasks, got {len(tasks)}")
+        if obs.is_tracing():
+            with obs.span(
+                "superstep.compute",
+                obs.MACHINE_TRACK,
+                superstep=len(self._steps),
+                procs=self.p,
+                backend=self.executor.name,
+            ) as extra:
+                return self._compute(tasks, extra)
+        return self._compute(tasks, None)
+
+    def _compute(self, tasks: Sequence[Task], extra) -> List[Any]:
+        """The (transactional) body of :meth:`run_superstep`; ``extra``
+        is the enclosing trace span's arg dict (None when not tracing)."""
+        tracing = extra is not None
+        step_index = len(self._steps)
         plan, policy = self._faults, self._retry
         max_attempts = policy.max_attempts if policy is not None else 1
         final: List[Optional[TaskOutcome]] = [None] * self.p
@@ -240,8 +256,17 @@ class BspMachine:
         attempt = 0
         while True:
             attempt += 1
-            if attempt > 1 and perf.is_collecting():
-                perf.increment("bsp.retry.attempts")
+            if attempt > 1:
+                if perf.is_collecting():
+                    perf.increment("bsp.retry.attempts")
+                if tracing:
+                    obs.event(
+                        "retry",
+                        obs.MACHINE_TRACK,
+                        phase="compute",
+                        superstep=step_index,
+                        attempt=attempt,
+                    )
             if plan is not None and plan.draw_pool_break():
                 if perf.is_collecting():
                     perf.increment("bsp.fault.pool")
@@ -309,15 +334,22 @@ class BspMachine:
                     perf.increment("bsp.fault.supersteps_failed")
                     if policy is not None:
                         perf.increment("bsp.retry.exhausted")
-                raise SuperstepFault(
-                    "compute",
-                    "",
-                    attempt,
-                    [
-                        ProcOutcome(f"proc {proc}", status[proc], detail[proc])
-                        for proc in range(self.p)
-                    ],
-                )
+                table = [
+                    ProcOutcome(f"proc {proc}", status[proc], detail[proc])
+                    for proc in range(self.p)
+                ]
+                if tracing:
+                    obs.event(
+                        "rollback",
+                        obs.MACHINE_TRACK,
+                        phase="compute",
+                        superstep=step_index,
+                        attempts=attempt,
+                        outcomes=";".join(
+                            f"{row.site}:{row.status}" for row in table
+                        ),
+                    )
+                raise SuperstepFault("compute", "", attempt, table)
             if policy is not None:
                 delay = policy.delay(attempt)
                 if delay > 0:
@@ -333,6 +365,26 @@ class BspMachine:
             self._elapsed[proc] += outcome.seconds
             total_seconds += outcome.seconds
             values.append(value)
+            if tracing:
+                obs.record(
+                    "task",
+                    obs.process_track(proc),
+                    outcome.started,
+                    outcome.seconds,
+                    proc=proc,
+                    ops=ops,
+                    superstep=step_index,
+                )
+        if tracing:
+            extra["attempts"] = attempt
+            if attempt > 1:
+                obs.event(
+                    "retry.recovered",
+                    obs.MACHINE_TRACK,
+                    phase="compute",
+                    superstep=step_index,
+                    attempts=attempt,
+                )
         if perf.is_collecting():
             if attempt > 1:
                 perf.increment("bsp.retry.recovered")
@@ -390,6 +442,29 @@ class BspMachine:
                         f"payload for ({src}, {dst}) but the traffic matrix "
                         "records 0 words sent — unaccounted communication"
                     )
+        if obs.is_tracing():
+            with obs.span(
+                "superstep.exchange",
+                obs.MACHINE_TRACK,
+                superstep=len(self._steps),
+                label=label,
+                h=relation.h,
+                words=relation.total_words,
+            ):
+                self._deliver(relation, payloads, label)
+        else:
+            self._deliver(relation, payloads, label)
+        return relation
+
+    def _deliver(
+        self,
+        relation: HRelation,
+        payloads: Optional[Dict[Tuple[int, int], object]],
+        label: str,
+    ) -> None:
+        """The (transactional) delivery + barrier of :meth:`exchange`."""
+        tracing = obs.is_tracing()
+        step_index = len(self._steps)
         plan, policy = self._faults, self._retry
         if plan is not None and payloads and plan.message_faults_active:
             keys = sorted(payloads)
@@ -397,12 +472,30 @@ class BspMachine:
             attempt = 0
             while True:
                 attempt += 1
-                if attempt > 1 and perf.is_collecting():
-                    perf.increment("bsp.retry.attempts")
+                if attempt > 1:
+                    if perf.is_collecting():
+                        perf.increment("bsp.retry.attempts")
+                    if tracing:
+                        obs.event(
+                            "retry",
+                            obs.MACHINE_TRACK,
+                            phase="exchange",
+                            superstep=step_index,
+                            attempt=attempt,
+                        )
                 injured = plan.draw_message_faults(keys)
                 if not injured:
-                    if attempt > 1 and perf.is_collecting():
-                        perf.increment("bsp.retry.recovered")
+                    if attempt > 1:
+                        if perf.is_collecting():
+                            perf.increment("bsp.retry.recovered")
+                        if tracing:
+                            obs.event(
+                                "retry.recovered",
+                                obs.MACHINE_TRACK,
+                                phase="exchange",
+                                superstep=step_index,
+                                attempts=attempt,
+                            )
                     break
                 if perf.is_collecting():
                     for kind in injured.values():
@@ -412,18 +505,25 @@ class BspMachine:
                         perf.increment("bsp.fault.supersteps_failed")
                         if policy is not None:
                             perf.increment("bsp.retry.exhausted")
-                    raise SuperstepFault(
-                        "exchange",
-                        label,
-                        attempt,
-                        [
-                            ProcOutcome(
-                                f"{src}->{dst}",
-                                injured.get((src, dst), "ok"),
-                            )
-                            for src, dst in keys
-                        ],
-                    )
+                    table = [
+                        ProcOutcome(
+                            f"{src}->{dst}",
+                            injured.get((src, dst), "ok"),
+                        )
+                        for src, dst in keys
+                    ]
+                    if tracing:
+                        obs.event(
+                            "rollback",
+                            obs.MACHINE_TRACK,
+                            phase="exchange",
+                            superstep=step_index,
+                            attempts=attempt,
+                            outcomes=";".join(
+                                f"{row.site}:{row.status}" for row in table
+                            ),
+                        )
+                    raise SuperstepFault("exchange", label, attempt, table)
                 if policy is not None:
                     delay = policy.delay(attempt)
                     if delay > 0:
@@ -431,7 +531,6 @@ class BspMachine:
                         if perf.is_collecting():
                             perf.add_time("bsp.retry.sleep", delay)
         self._close(relation, label, deliveries=payloads)
-        return relation
 
     def barrier(self, label: str = "barrier") -> None:
         """A pure synchronization: empty relation, still costs ``l``.
@@ -440,7 +539,17 @@ class BspMachine:
         readable only during the superstep immediately after its
         exchange, never across a later barrier.
         """
-        self._close(HRelation((0,) * self.p, (0,) * self.p), label)
+        relation = HRelation((0,) * self.p, (0,) * self.p)
+        if obs.is_tracing():
+            with obs.span(
+                "superstep.barrier",
+                obs.MACHINE_TRACK,
+                superstep=len(self._steps),
+                label=label,
+            ):
+                self._close(relation, label)
+        else:
+            self._close(relation, label)
 
     def receive(self, proc: int, source: int):
         """The payload ``source`` sent to ``proc`` in the last exchange,
@@ -472,15 +581,26 @@ class BspMachine:
         in :meth:`exchange`: a ``barrier()`` between an exchange and a
         read must not leave stale payloads readable (regression: it did).
         """
-        self._steps.append(
-            SuperstepCost(
-                tuple(self._work),
-                relation,
-                synchronized=True,
-                label=label,
-                measured=tuple(self._elapsed) if any(self._elapsed) else None,
-            )
+        step = SuperstepCost(
+            tuple(self._work),
+            relation,
+            synchronized=True,
+            label=label,
+            measured=tuple(self._elapsed) if any(self._elapsed) else None,
         )
+        self._steps.append(step)
+        if obs.is_tracing():
+            # The committed BspCost row rides on the trace so modelled
+            # cost can be read next to the measured phase spans.
+            obs.event(
+                "superstep",
+                obs.MACHINE_TRACK,
+                superstep=len(self._steps) - 1,
+                w_max=step.w_max,
+                h=step.h,
+                words=relation.total_words,
+                label=label,
+            )
         self._work = [0.0] * self.p
         self._elapsed = [0.0] * self.p
         self._mailboxes = [dict() for _ in range(self.p)]

@@ -1,9 +1,11 @@
-"""Command-line interface: ``minibsml {typecheck,run,trace,explain}``.
+"""Command-line interface: ``minibsml {typecheck,run,profile,trace,explain}``.
 
 Examples::
 
     minibsml typecheck -e "fst (1, mkpar (fun i -> i))"
     minibsml run -e "bcast 2 (mkpar (fun i -> i * i))" -p 8 -g 2 -l 100
+    minibsml run -e "bcast 2 (mkpar (fun i -> i * i))" --trace out.json
+    minibsml profile -e "bcast 2 (mkpar (fun i -> i * i))" -p 8
     minibsml trace -e "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> 0))" -p 2
     minibsml explain -e "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)"
 """
@@ -14,7 +16,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro import perf, run_program, typecheck_scheme
+from repro import obs, perf, run_program, typecheck_scheme
 from repro.core import TypingError, explain as explain_expr
 from repro.lang import ParseError, parse_program, pretty, with_prelude
 from repro.lang.errors import ReproError
@@ -46,6 +48,11 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print perf counters and cache hit rates to stderr",
     )
+    parser.add_argument(
+        "--stats-verbose",
+        action="store_true",
+        help="like --stats but also list registered caches with zero calls",
+    )
 
 
 def _command_typecheck(args: argparse.Namespace) -> int:
@@ -63,23 +70,90 @@ def _command_typecheck(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="collect a structured trace (spans per BSP process, fault "
+        "events, inference timings) and write it to FILE",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=obs.TRACE_FORMATS,
+        default=None,
+        help="trace file format (default: inferred from the FILE suffix; "
+        "chrome is Perfetto/about://tracing-loadable JSON)",
+    )
+
+
+def _traced_run(args: argparse.Namespace):
+    """Evaluate the program, honouring ``--trace``; returns the result.
+
+    Trace collection wraps the whole pipeline (typecheck + evaluation) so
+    the inference track appears alongside the per-process timelines.
+    """
     expr = _load(args)
     faults, retry = _parse_faults(args.faults)
-    result = run_program(
-        expr,
-        p=args.p,
-        g=args.g,
-        l=args.l,
-        use_prelude=not args.no_prelude,
-        typed=not args.untyped,
-        backend=args.backend,
-        faults=faults,
-        retry=retry,
+
+    def evaluate():
+        return run_program(
+            expr,
+            p=args.p,
+            g=args.g,
+            l=args.l,
+            use_prelude=not args.no_prelude,
+            typed=not args.untyped,
+            backend=args.backend,
+            faults=faults,
+            retry=retry,
+        )
+
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return evaluate(), None
+    with obs.trace() as collected:
+        result = evaluate()
+    obs.write_trace(collected, trace_path, format=args.trace_format)
+    print(
+        f"trace: {len(collected.records)} records -> {trace_path}",
+        file=sys.stderr,
     )
+    return result, collected
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result, _ = _traced_run(args)
     print(result.python_value)
     if args.cost:
         print(result.render())
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    expr = _load(args)
+    faults, retry = _parse_faults(args.faults)
+    with obs.trace() as collected:
+        result = run_program(
+            expr,
+            p=args.p,
+            g=args.g,
+            l=args.l,
+            use_prelude=not args.no_prelude,
+            typed=not args.untyped,
+            backend=args.backend,
+            faults=faults,
+            retry=retry,
+        )
+    print(result.python_value)
+    print(result.render())
+    print(obs.summarize(collected))
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.write_trace(collected, trace_path, format=args.trace_format)
+        print(
+            f"trace: {len(collected.records)} records -> {trace_path}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -158,7 +232,34 @@ def build_parser() -> argparse.ArgumentParser:
         "timeout, drop, dup, corrupt, pool, attempts, delay, jitter, "
         "multiplier; a survivable plan changes nothing observable)",
     )
+    _add_trace_arguments(run)
     run.set_defaults(handler=_command_run)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run with tracing on and print the latency histogram summary "
+        "next to the abstract BSP cost table",
+    )
+    _add_source_arguments(profile)
+    profile.add_argument("-p", type=int, default=4, help="number of processes")
+    profile.add_argument("-g", type=float, default=1.0, help="BSP g parameter")
+    profile.add_argument("-l", type=float, default=20.0, help="BSP l parameter")
+    profile.add_argument(
+        "--untyped", action="store_true", help="skip the static typecheck"
+    )
+    profile.add_argument(
+        "--backend",
+        choices=("seq", "thread", "process"),
+        default="seq",
+        help="execution backend for the per-process computation phases",
+    )
+    profile.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="arm deterministic fault injection for the profiled run",
+    )
+    _add_trace_arguments(profile)
+    profile.set_defaults(handler=_command_profile)
 
     tr = commands.add_parser("trace", help="print the small-step reduction")
     _add_source_arguments(tr)
@@ -195,6 +296,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm deterministic fault injection for the session "
         "(also :faults in the session)",
     )
+    repl.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="collect a session-long trace and write it to FILE at exit "
+        "(also :trace on/off/save in the session)",
+    )
+    repl.add_argument(
+        "--trace-format",
+        choices=obs.TRACE_FORMATS,
+        default=None,
+        help="trace file format (default: inferred from the FILE suffix)",
+    )
     repl.set_defaults(handler=_command_repl)
 
     return parser
@@ -209,6 +322,8 @@ def _command_repl(args: argparse.Namespace) -> int:
         stats_at_exit=args.stats,
         backend=args.backend,
         fault_spec=args.faults,
+        trace_file=args.trace,
+        trace_format=args.trace_format,
     )
 
 
@@ -216,14 +331,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # The REPL manages its own session-long window (and the :stats command).
-    wants_stats = getattr(args, "stats", False) and args.command != "repl"
+    verbose_stats = getattr(args, "stats_verbose", False)
+    wants_stats = (
+        getattr(args, "stats", False) or verbose_stats
+    ) and args.command != "repl"
     stats_context = perf.collect() if wants_stats else None
     try:
         if stats_context is None:
             return args.handler(args)
         with stats_context as stats:
             status = args.handler(args)
-        print(stats.render(), file=sys.stderr)
+        print(stats.render(verbose=verbose_stats), file=sys.stderr)
         return status
     except ParseError as error:
         print(f"syntax error: {error}", file=sys.stderr)

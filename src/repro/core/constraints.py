@@ -37,11 +37,12 @@ need no invalidation, ever.  The caches register themselves with
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Tuple
 
-from repro import perf
+from repro import obs, perf
 from repro.core.types import (
     TArrow,
     TBase,
@@ -434,8 +435,25 @@ def is_satisfiable(constraint: Constraint) -> bool:
 
 def is_unsatisfiable(constraint: Constraint) -> bool:
     """True when no instantiation can ever satisfy ``C`` — the paper's
-    ``Solve(C) = False``, the condition under which a typing rule fails."""
-    return not is_satisfiable(constraint)
+    ``Solve(C) = False``, the condition under which a typing rule fails.
+
+    When a trace is active (:mod:`repro.obs`) every check records a
+    ``solve`` span on the inference track carrying the verdict — this is
+    the per-rule ``Solve`` the typing rules' side conditions invoke, so
+    the spans line up one-to-one under the ``judgment`` spans.
+    """
+    if not obs.is_tracing():
+        return not is_satisfiable(constraint)
+    started = time.perf_counter()
+    unsat = not is_satisfiable(constraint)
+    obs.record(
+        "solve",
+        obs.INFERENCE_TRACK,
+        started,
+        time.perf_counter() - started,
+        unsat=unsat,
+    )
+    return unsat
 
 
 @lru_cache(maxsize=SOLVER_CACHE_SIZE)

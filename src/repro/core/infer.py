@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro import perf
+from repro import obs, perf
 from repro.core.constraints import (
     FALSE,
     basic_constraint,
@@ -169,6 +169,21 @@ class Inferencer:
 
     def infer(self, env: TypeEnv, expr: Expr) -> Tuple[ConstrainedType, Derivation]:
         perf.increment("infer.nodes")
+        if obs.is_tracing():
+            # One span per typing judgment, nested by the recursion on
+            # the ``inference`` track; the applied rule name is attached
+            # once the premise sub-derivations have returned.
+            with obs.span(
+                "judgment", obs.INFERENCE_TRACK, node=type(expr).__name__
+            ) as extra:
+                ct, derivation = self._infer_node(env, expr)
+                extra["rule"] = derivation.rule
+                return ct, derivation
+        return self._infer_node(env, expr)
+
+    def _infer_node(
+        self, env: TypeEnv, expr: Expr
+    ) -> Tuple[ConstrainedType, Derivation]:
         if isinstance(expr, Var):
             scheme = env.lookup(expr.name)
             if scheme is None:
@@ -471,7 +486,7 @@ def infer(expr: Expr, env: Optional[TypeEnv] = None, prune: bool = True) -> Cons
     :mod:`repro.core.normalize`).
     """
     engine = Inferencer(prune=prune)
-    with perf.timed("infer"), deep_recursion():
+    with perf.timed("infer"), obs.span("infer", obs.INFERENCE_TRACK), deep_recursion():
         ct, _ = engine.infer(env or TypeEnv.empty(), expr)
         final = engine.subst.apply_constrained(ct)
     if prune:

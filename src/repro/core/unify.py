@@ -8,9 +8,10 @@ substitution by :meth:`repro.core.schemes.Subst.apply_constrained`
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
-from repro import perf
+from repro import obs, perf
 from repro.core.errors import OccursCheckError, UnificationError
 from repro.core.schemes import Subst
 from repro.core.types import (
@@ -34,6 +35,8 @@ def unify(left: Type, right: Type, loc: Optional[Loc] = None) -> Subst:
     Raises :class:`UnificationError` on a constructor clash and
     :class:`OccursCheckError` on a cyclic solution.
     """
+    tracing = obs.is_tracing()
+    started = time.perf_counter() if tracing else 0.0
     subst = Subst.identity()
     stack = [(left, right)]
     steps = 0
@@ -81,6 +84,14 @@ def unify(left: Type, right: Type, loc: Optional[Loc] = None) -> Subst:
     if perf.is_collecting():
         perf.increment("unify.calls")
         perf.increment("unify.steps", steps)
+    if tracing:
+        obs.record(
+            "unify",
+            obs.INFERENCE_TRACK,
+            started,
+            time.perf_counter() - started,
+            steps=steps,
+        )
     return subst
 
 

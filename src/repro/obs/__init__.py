@@ -1,0 +1,73 @@
+"""Structured tracing and trace export for the BSP + inference pipeline.
+
+See :mod:`repro.obs.tracer` for the span/event model and the collection
+discipline, :mod:`repro.obs.export` for the Chrome-trace / JSONL /
+summary exporters.  Typical use::
+
+    from repro import obs
+
+    with obs.trace() as t:
+        run_program("bcast 2 (mkpar (fun i -> i * i))")
+    obs.write_trace(t, "out.json")          # load in Perfetto
+    print(obs.summarize(t))                 # latency histograms
+"""
+
+from repro.obs.tracer import (
+    INFERENCE_TRACK,
+    MACHINE_TRACK,
+    NONABSTRACT_ARGS,
+    NONABSTRACT_PREFIXES,
+    Trace,
+    TraceRecord,
+    event,
+    is_tracing,
+    process_track,
+    record,
+    resume,
+    span,
+    start,
+    stop,
+    trace,
+)
+from repro.obs.export import (
+    TRACE_FORMATS,
+    SpanHistogram,
+    histograms,
+    summarize,
+    superstep_rows,
+    to_chrome,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome,
+    write_jsonl,
+    write_trace,
+)
+
+__all__ = [
+    "INFERENCE_TRACK",
+    "MACHINE_TRACK",
+    "NONABSTRACT_ARGS",
+    "NONABSTRACT_PREFIXES",
+    "SpanHistogram",
+    "TRACE_FORMATS",
+    "Trace",
+    "TraceRecord",
+    "event",
+    "histograms",
+    "is_tracing",
+    "process_track",
+    "record",
+    "resume",
+    "span",
+    "start",
+    "stop",
+    "summarize",
+    "superstep_rows",
+    "to_chrome",
+    "to_jsonl",
+    "trace",
+    "validate_chrome_trace",
+    "write_chrome",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,335 @@
+"""Exporters for :class:`~repro.obs.tracer.Trace` collections.
+
+Three formats, one per audience:
+
+* :func:`to_chrome` / :func:`write_chrome` — Chrome trace-event JSON
+  (the ``{"traceEvents": [...]}`` flavour), loadable in Perfetto or
+  ``chrome://tracing``.  Every repro track becomes one named thread
+  (``tid``) of a single process, so the BSP processes render as parallel
+  tracks with the superstep phases and the inference work laid out
+  alongside;
+* :func:`to_jsonl` / :func:`write_jsonl` — one JSON object per record,
+  timestamps normalized to seconds since the trace epoch; the format for
+  downstream tooling and ad-hoc ``jq``;
+* :func:`summarize` — a human-readable report with per-span-kind latency
+  histograms (count / p50 / p95 / max) and a per-superstep table of the
+  committed abstract cost next to the measured phase times, which is the
+  modelled-versus-measured comparison ``repro profile`` prints.
+
+:func:`write_trace` dispatches on an explicit format or the file suffix
+(``.jsonl`` -> jsonl, ``.txt`` -> summary, anything else -> Chrome
+JSON).  :func:`validate_chrome_trace` is the schema check the CI trace
+job runs against emitted files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.tracer import Trace, TraceRecord
+
+#: The accepted ``--trace-format`` names, in documentation order.
+TRACE_FORMATS = ("chrome", "jsonl", "summary")
+
+#: The single Chrome trace-event process id every track lives under.
+_PID = 1
+
+
+def _tids(trace: Trace) -> Dict[str, int]:
+    """Stable track -> tid assignment in canonical display order."""
+    return {track: tid for tid, track in enumerate(trace.tracks())}
+
+
+def to_chrome(trace: Trace) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event JSON object.
+
+    Spans become complete (``"ph": "X"``) events, instants become
+    thread-scoped instant (``"ph": "i"``) events; timestamps are
+    microseconds since the trace epoch, sorted ascending so every track's
+    timeline is monotone.  Metadata events name the process and one
+    thread per track.
+    """
+    tids = _tids(trace)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "repro (BSP + inference)"},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "ts": 0,
+                "args": {"sort_index": tid},
+            }
+        )
+    payload: List[Dict[str, Any]] = []
+    for record in trace.records:
+        entry: Dict[str, Any] = {
+            "name": record.name,
+            "pid": _PID,
+            "tid": tids[record.track],
+            "ts": max(0.0, (record.ts - trace.epoch) * 1e6),
+            "args": record.args_dict(),
+        }
+        if record.is_span:
+            entry["ph"] = "X"
+            entry["dur"] = max(0.0, record.dur * 1e6)
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        payload.append(entry)
+    payload.sort(key=lambda entry: entry["ts"])
+    events.extend(payload)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(trace: Trace, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome(trace), indent=1), encoding="utf-8")
+    return path
+
+
+def to_jsonl(trace: Trace) -> List[str]:
+    """One JSON line per record: name, track, seconds-since-epoch ``ts``,
+    ``dur`` (null for instants) and the args."""
+    lines = []
+    for record in trace.records:
+        lines.append(
+            json.dumps(
+                {
+                    "name": record.name,
+                    "track": record.track,
+                    "ts": record.ts - trace.epoch,
+                    "dur": record.dur,
+                    "args": record.args_dict(),
+                },
+                sort_keys=True,
+            )
+        )
+    return lines
+
+
+def write_jsonl(trace: Trace, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(to_jsonl(trace)) + "\n", encoding="utf-8")
+    return path
+
+
+# -- latency histograms -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanHistogram:
+    """Latency distribution of one span kind over a trace (seconds)."""
+
+    name: str
+    count: int
+    p50: float
+    p95: float
+    max: float
+    total: float
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def histograms(trace: Trace) -> List[SpanHistogram]:
+    """Per-span-kind latency histograms, sorted by total time descending
+    (ties broken by name, so the report is deterministic)."""
+    durations: Dict[str, List[float]] = {}
+    for record in trace.records:
+        if record.is_span:
+            durations.setdefault(record.name, []).append(record.dur)
+    out = []
+    for name, values in durations.items():
+        values.sort()
+        out.append(
+            SpanHistogram(
+                name,
+                len(values),
+                _percentile(values, 0.50),
+                _percentile(values, 0.95),
+                values[-1],
+                sum(values),
+            )
+        )
+    out.sort(key=lambda h: (-h.total, h.name))
+    return out
+
+
+def superstep_rows(trace: Trace) -> List[Dict[str, Any]]:
+    """Modelled-versus-measured rows, one per committed superstep.
+
+    The abstract side comes from the ``superstep`` commit events (the
+    committed :class:`~repro.bsp.cost.BspCost` row: ``w_max``, ``h``,
+    label); the measured side sums the ``superstep.compute`` /
+    ``superstep.exchange`` / ``superstep.barrier`` span durations that
+    carry the same superstep index.
+    """
+    measured: Dict[int, float] = {}
+    for record in trace.records:
+        if record.is_span and record.name.startswith("superstep."):
+            index = record.arg("superstep")
+            if index is not None:
+                measured[index] = measured.get(index, 0.0) + record.dur
+    rows = []
+    for record in trace.events("superstep"):
+        index = record.arg("superstep")
+        rows.append(
+            {
+                "superstep": index,
+                "w_max": record.arg("w_max"),
+                "h": record.arg("h"),
+                "label": record.arg("label", ""),
+                "measured_s": measured.get(index, 0.0),
+            }
+        )
+    return rows
+
+
+def summarize(trace: Trace) -> str:
+    """The human-readable trace report: span-kind latency histograms,
+    instant-event counts, and the per-superstep modelled-versus-measured
+    table (when the trace saw a BSP machine run)."""
+    span_count = sum(1 for r in trace.records if r.is_span)
+    event_count = len(trace.records) - span_count
+    lines = [
+        "trace summary: "
+        f"{span_count} spans, {event_count} events "
+        f"on {len(trace.tracks())} tracks"
+    ]
+    rows = histograms(trace)
+    if rows:
+        lines.append("  span latencies (ms):")
+        lines.append(
+            f"    {'kind':<24} {'count':>7} {'p50':>9} {'p95':>9} "
+            f"{'max':>9} {'total':>9}"
+        )
+        for row in rows:
+            lines.append(
+                f"    {row.name:<24} {row.count:>7} {row.p50 * 1e3:>9.3f} "
+                f"{row.p95 * 1e3:>9.3f} {row.max * 1e3:>9.3f} "
+                f"{row.total * 1e3:>9.2f}"
+            )
+    counts: Dict[str, int] = {}
+    for record in trace.records:
+        if not record.is_span:
+            counts[record.name] = counts.get(record.name, 0) + 1
+    if counts:
+        lines.append("  events:")
+        for name in sorted(counts):
+            lines.append(f"    {name:<24} {counts[name]:>7}")
+    steps = superstep_rows(trace)
+    if steps:
+        lines.append("  supersteps (modelled vs measured):")
+        lines.append(
+            f"    {'step':>4} {'max w':>10} {'h':>8} {'measured ms':>12}  label"
+        )
+        for row in steps:
+            lines.append(
+                f"    {row['superstep']:>4} {row['w_max']:>10.1f} "
+                f"{row['h']:>8} {row['measured_s'] * 1e3:>12.3f}  {row['label']}"
+            )
+    if len(lines) == 1:
+        lines.append("  (nothing recorded)")
+    return "\n".join(lines)
+
+
+# -- dispatch and validation --------------------------------------------------
+
+
+def write_trace(
+    trace: Trace, path: Union[str, Path], format: Optional[str] = None
+) -> Path:
+    """Write ``trace`` to ``path`` in ``format`` (``chrome``, ``jsonl``
+    or ``summary``); with no explicit format the suffix decides
+    (``.jsonl`` -> jsonl, ``.txt`` -> summary, else Chrome JSON)."""
+    path = Path(path)
+    if format is None:
+        format = {".jsonl": "jsonl", ".txt": "summary"}.get(
+            path.suffix.lower(), "chrome"
+        )
+    if format == "chrome":
+        return write_chrome(trace, path)
+    if format == "jsonl":
+        return write_jsonl(trace, path)
+    if format == "summary":
+        path.write_text(summarize(trace) + "\n", encoding="utf-8")
+        return path
+    raise ValueError(
+        f"unknown trace format {format!r} (choose from {', '.join(TRACE_FORMATS)})"
+    )
+
+
+def validate_chrome_trace(source: Union[str, Path, Dict[str, Any]]) -> int:
+    """Validate a Chrome trace-event JSON document.
+
+    ``source`` is a parsed document, a JSON string, or a path to one.
+    Checks the required keys on every event, the phase vocabulary, and
+    that timestamps are monotone non-decreasing per ``(pid, tid)`` track.
+    Returns the number of events; raises :class:`ValueError` (with the
+    offending event) on any violation.  This is the check the CI trace
+    job runs on the artifacts ``minibsml profile`` emits.
+    """
+    if isinstance(source, str) and source.lstrip().startswith(("{", "[")):
+        data = json.loads(source)
+    elif isinstance(source, (str, Path)):
+        data = json.loads(Path(source).read_text(encoding="utf-8"))
+    else:
+        data = source
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        raise ValueError("not a Chrome trace: missing top-level 'traceEvents' list")
+    events = data["traceEvents"]
+    if not events:
+        raise ValueError("empty trace: no events")
+    last_ts: Dict[Tuple[int, int], float] = {}
+    for index, entry in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in entry:
+                raise ValueError(f"event {index} is missing required key {key!r}: {entry}")
+        if entry["ph"] not in ("X", "i", "I", "M", "B", "E", "C"):
+            raise ValueError(f"event {index} has unknown phase {entry['ph']!r}")
+        if not isinstance(entry["ts"], (int, float)) or entry["ts"] < 0:
+            raise ValueError(f"event {index} has a bad timestamp: {entry['ts']!r}")
+        if entry["ph"] == "X":
+            if not isinstance(entry.get("dur"), (int, float)) or entry["dur"] < 0:
+                raise ValueError(
+                    f"complete event {index} needs a non-negative 'dur': {entry}"
+                )
+        if entry["ph"] == "M":
+            continue
+        key = (entry["pid"], entry["tid"])
+        if entry["ts"] < last_ts.get(key, 0.0):
+            raise ValueError(
+                f"event {index} breaks per-track ts monotonicity on {key}: "
+                f"{entry['ts']} < {last_ts[key]}"
+            )
+        last_ts[key] = entry["ts"]
+    return len(events)

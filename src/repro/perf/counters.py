@@ -160,8 +160,14 @@ class PerfStats:
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
 
-    def render(self) -> str:
-        """A human-readable report (counters, cache hit rates, timers)."""
+    def render(self, verbose: bool = False) -> str:
+        """A human-readable report (counters, cache hit rates, timers).
+
+        Caches are listed in deterministic name order.  By default caches
+        with no calls in this window are suppressed; ``verbose=True``
+        includes them (useful to confirm a cache was registered but never
+        exercised by a workload).
+        """
         lines = ["perf stats:"]
         if self.counters:
             lines.append("  counters:")
@@ -169,7 +175,9 @@ class PerfStats:
                 value = self.counters[name]
                 shown = f"{value:.0f}" if float(value).is_integer() else f"{value:.2f}"
                 lines.append(f"    {name:<28} {shown:>12}")
-        reports = [r for r in self.cache_reports() if r.calls]
+        reports = self.cache_reports()
+        if not verbose:
+            reports = [r for r in reports if r.calls]
         if reports:
             lines.append("  caches (hits/misses, hit rate):")
             for report in reports:

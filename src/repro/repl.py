@@ -9,8 +9,13 @@ Meta-commands::
     :type <expr>     infer and print the type scheme, nothing is evaluated
     :explain <expr>  print the typing derivation (or the rejection tree)
     :trace <expr>    print the small-step reduction sequence
+    :trace on|off    start/pause structured trace collection (spans per
+                     BSP process, fault events, inference timings)
+    :trace save F    write the collected trace to F (suffix picks the
+                     format: .jsonl, .txt summary, else Chrome JSON)
     :cost            print the BSP cost accumulated so far
     :stats           print perf counters and solver-cache hit rates
+                     (:stats verbose includes zero-call caches)
     :backend [name]  show or switch the execution backend (seq/thread/process)
     :faults [SPEC]   show, arm (e.g. seed=42,crash=0.1,attempts=4) or
                      disarm (:faults off) deterministic fault injection
@@ -32,7 +37,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, Optional, TextIO
 
-from repro import perf
+from repro import obs, perf
 from repro.bsp.executor import BACKENDS, get_executor
 from repro.bsp.faults import FaultSpecError, parse_fault_spec
 from repro.bsp.machine import BspMachine
@@ -70,6 +75,10 @@ class Session:
         self.fault_spec = fault_spec
         #: Session-long perf window, installed by :func:`run_repl`.
         self.perf_stats: Optional[perf.PerfStats] = None
+        #: Structured trace window (``:trace on`` or ``--trace FILE``);
+        #: survives :meth:`reset` — it observes the session, not one
+        #: machine incarnation.
+        self.trace_collector: Optional[obs.Trace] = None
         self.reset()
 
     def reset(self) -> None:
@@ -120,6 +129,10 @@ class Session:
             print(explain(expr, self.type_env).render(), file=out)
             return True
         if command == ":trace":
+            word, _, tail = rest.partition(" ")
+            if word in ("on", "off", "save", "status"):
+                self._trace_meta(word, tail.strip(), out)
+                return True
             expr = self._close(self._parse_expr(rest))
             for index, state in enumerate(smallstep_trace(expr, self.params.p, 50_000)):
                 print(f"{index:>4}  {pretty(state)}", file=out)
@@ -129,7 +142,7 @@ class Session:
             return True
         if command == ":stats":
             if self.perf_stats is not None:
-                print(self.perf_stats.render(), file=out)
+                print(self.perf_stats.render(verbose=rest == "verbose"), file=out)
             else:
                 print("perf collection is not active for this session", file=out)
             return True
@@ -214,6 +227,70 @@ class Session:
               ":stats :backend :faults :reset :env :p :quit)", file=out)
         return True
 
+    def _trace_meta(self, word: str, rest: str, out: TextIO) -> None:
+        """``:trace on|off|save FILE [format]|status``."""
+        collector = self.trace_collector
+        if word == "on":
+            if collector is not None and obs.is_tracing():
+                print(
+                    f"tracing is already on ({len(collector.records)} records)",
+                    file=out,
+                )
+            elif collector is not None:
+                obs.resume(collector)
+                print(
+                    f"tracing resumed ({len(collector.records)} records so far)",
+                    file=out,
+                )
+            else:
+                self.trace_collector = obs.start()
+                print("tracing on", file=out)
+            return
+        if word == "off":
+            if collector is None:
+                print("tracing was never on", file=out)
+            else:
+                obs.stop(collector)
+                print(
+                    f"tracing paused ({len(collector.records)} records held; "
+                    ":trace save FILE to export, :trace on to resume)",
+                    file=out,
+                )
+            return
+        if word == "status":
+            if collector is None:
+                print("tracing: off", file=out)
+            else:
+                state = "on" if obs.is_tracing() else "paused"
+                print(
+                    f"tracing: {state}, {len(collector.records)} records on "
+                    f"{len(collector.tracks())} tracks",
+                    file=out,
+                )
+            return
+        # save FILE [chrome|jsonl|summary]
+        if collector is None:
+            print("nothing to save: tracing was never on (:trace on)", file=out)
+            return
+        path, _, format_word = rest.partition(" ")
+        if not path:
+            print("usage: :trace save FILE [chrome|jsonl|summary]", file=out)
+            return
+        format_word = format_word.strip() or None
+        if format_word is not None and format_word not in obs.TRACE_FORMATS:
+            print(
+                f"unknown trace format {format_word!r} "
+                f"(choose from {', '.join(obs.TRACE_FORMATS)})",
+                file=out,
+            )
+            return
+        try:
+            written = obs.write_trace(collector, path, format=format_word)
+        except OSError as error:
+            print(f"error: {error}", file=out)
+            return
+        print(f"trace: {len(collector.records)} records -> {written}", file=out)
+
     def _program(self, line: str, out: TextIO) -> None:
         definitions, final = self._parse_program(line)
         for name, body in definitions:
@@ -264,6 +341,8 @@ def run_repl(
     stats_at_exit: bool = False,
     backend: str = "seq",
     fault_spec: Optional[str] = None,
+    trace_file: Optional[str] = None,
+    trace_format: Optional[str] = None,
 ) -> int:
     """Run the REPL loop until EOF or ``:quit``.
 
@@ -273,10 +352,16 @@ def run_repl(
     ``backend`` picks the initial execution backend (``:backend``
     switches it live); ``fault_spec`` arms fault injection from the
     start (``:faults`` shows, re-arms or disarms it live).
+    ``trace_file`` turns structured trace collection on from the start
+    and writes whatever was collected there on exit (``:trace`` controls
+    the window live; an explicit ``:trace save`` mid-session is also
+    honoured).
     """
     stdin = input_stream if input_stream is not None else sys.stdin
     out = output_stream if output_stream is not None else sys.stdout
     session = Session(params, backend=backend, fault_spec=fault_spec)
+    if trace_file:
+        session.trace_collector = obs.start()
     interactive = stdin.isatty() if hasattr(stdin, "isatty") else False
     if banner:
         print(
@@ -296,5 +381,16 @@ def run_repl(
                 return 0
     finally:
         perf.stop(session.perf_stats)
+        if session.trace_collector is not None:
+            obs.stop(session.trace_collector)
+        if trace_file and session.trace_collector is not None:
+            written = obs.write_trace(
+                session.trace_collector, trace_file, format=trace_format
+            )
+            print(
+                f"trace: {len(session.trace_collector.records)} records "
+                f"-> {written}",
+                file=out,
+            )
         if stats_at_exit:
             print(session.perf_stats.render(), file=out)

@@ -50,6 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.bsp.cost import BspCost
 from repro.bsp.executor import BACKENDS, get_executor
 from repro.bsp.faults import FaultPlan, RetryPolicy, SuperstepFault
@@ -66,13 +67,20 @@ Program = Union[str, Expr, Callable[[Bsml], Any]]
 
 @dataclass
 class BackendRun:
-    """One backend's observation of a program: value, cost, or error."""
+    """One backend's observation of a program: value, cost, or error.
+
+    ``trace_signature`` is populated only when the harness ran with
+    ``check_trace``: the deterministic projection of the run's structured
+    trace (:meth:`repro.obs.Trace.abstract_signature` — superstep
+    structure, h-relations, abstract op counts, fault outcomes; never
+    timestamps or backend identity)."""
 
     backend: str
     value_repr: Optional[str] = None
     value: Any = None
     cost: Optional[BspCost] = None
     error: Optional[str] = None
+    trace_signature: Optional[Tuple] = None
 
     @property
     def ok(self) -> bool:
@@ -93,7 +101,14 @@ class DifferentialReport:
 
     @property
     def conforms(self) -> bool:
-        """True when every backend observed exactly the same thing."""
+        """True when every backend observed exactly the same thing.
+
+        When runs carry trace signatures (``check_trace``) those are part
+        of "the same thing": the abstract trace — superstep structure,
+        h-relations, op counts, fault outcomes — must be bit-identical,
+        the tracing analogue of the exact ``BspCost`` comparison.  Error
+        runs are exempt (a failing phase cuts the trace short at a
+        backend-dependent record)."""
         reference = self.reference
         for run in self.runs[1:]:
             if run.error != reference.error:
@@ -101,6 +116,13 @@ class DifferentialReport:
             if reference.ok and (
                 run.value_repr != reference.value_repr
                 or run.cost != reference.cost
+            ):
+                return False
+            if (
+                reference.ok
+                and reference.trace_signature is not None
+                and run.trace_signature is not None
+                and run.trace_signature != reference.trace_signature
             ):
                 return False
         return True
@@ -130,11 +152,37 @@ class DifferentialReport:
                     lines.append("    cost differs from reference:")
                     for line in run.cost.render().splitlines():
                         lines.append(f"      {line}")
+            if (
+                run is not reference
+                and run.trace_signature is not None
+                and reference.trace_signature is not None
+                and run.trace_signature != reference.trace_signature
+            ):
+                lines.append(
+                    "    "
+                    + _first_trace_divergence(
+                        reference.trace_signature, run.trace_signature
+                    )
+                )
         if not self.conforms and reference.ok and reference.cost is not None:
             lines.append("  reference cost:")
             for line in reference.cost.render().splitlines():
                 lines.append(f"    {line}")
         return "\n".join(lines)
+
+
+def _first_trace_divergence(reference: Tuple, other: Tuple) -> str:
+    """Pinpoint where two abstract trace signatures first disagree."""
+    for index, (expected, got) in enumerate(zip(reference, other)):
+        if expected != got:
+            return (
+                f"trace diverges at record {index}: "
+                f"expected {expected!r}, got {got!r}"
+            )
+    return (
+        f"trace diverges in length: reference has {len(reference)} "
+        f"abstract records, this run has {len(other)}"
+    )
 
 
 def _describe(program: Program) -> str:
@@ -155,6 +203,7 @@ def run_differential(
     params: Optional[BspParams] = None,
     backends: Sequence[str] = BACKENDS,
     use_prelude: Optional[bool] = None,
+    check_trace: bool = False,
 ) -> DifferentialReport:
     """Run ``program`` under every backend and collect the observations.
 
@@ -162,6 +211,12 @@ def run_differential(
     ``programs/*.bsml`` and the curated corpora just work) and False for
     a bare AST (generated programs are closed).  The first backend in
     ``backends`` is the reference the others are compared against.
+
+    With ``check_trace`` every run is additionally collected under a
+    structured trace (:mod:`repro.obs`) and its
+    :meth:`~repro.obs.Trace.abstract_signature` stored on the
+    :class:`BackendRun`; :attr:`DifferentialReport.conforms` then also
+    demands those signatures be bit-identical.
     """
     params = params or BspParams(p=4)
     report = DifferentialReport(_describe(program))
@@ -169,8 +224,18 @@ def run_differential(
         expr = parse_program(program) if isinstance(program, str) else program
         prelude = use_prelude if use_prelude is not None else isinstance(program, str)
         for backend in backends:
+            signature = None
             try:
-                result = run_costed(expr, params, use_prelude=prelude, backend=backend)
+                if check_trace:
+                    with obs.trace() as collected:
+                        result = run_costed(
+                            expr, params, use_prelude=prelude, backend=backend
+                        )
+                    signature = collected.abstract_signature()
+                else:
+                    result = run_costed(
+                        expr, params, use_prelude=prelude, backend=backend
+                    )
             except Exception as error:
                 report.runs.append(BackendRun(backend, error=_observe_error(error)))
                 continue
@@ -180,14 +245,21 @@ def run_differential(
                     value_repr=repr(result.value),
                     value=result.value,
                     cost=result.cost,
+                    trace_signature=signature,
                 )
             )
         return report
     for backend in backends:
         machine = BspMachine(params, executor=get_executor(backend))
         context = Bsml(params, machine)
+        signature = None
         try:
-            value = program(context)
+            if check_trace:
+                with obs.trace() as collected:
+                    value = program(context)
+                signature = collected.abstract_signature()
+            else:
+                value = program(context)
         except Exception as error:
             report.runs.append(BackendRun(backend, error=_observe_error(error)))
             continue
@@ -198,6 +270,7 @@ def run_differential(
                 value_repr=repr(shown),
                 value=shown,
                 cost=machine.cost(),
+                trace_signature=signature,
             )
         )
     return report
@@ -209,14 +282,16 @@ def assert_conformance(
     backends: Sequence[str] = BACKENDS,
     use_prelude: Optional[bool] = None,
     require_success: bool = False,
+    check_trace: bool = False,
 ) -> DifferentialReport:
     """Run differentially and raise :class:`AssertionError` on divergence.
 
     With ``require_success`` the program must also evaluate cleanly on
-    every backend (an agreed-upon error is otherwise conforming).
+    every backend (an agreed-upon error is otherwise conforming); with
+    ``check_trace`` the abstract trace signatures must also agree.
     Returns the report so callers can make further assertions.
     """
-    report = run_differential(program, params, backends, use_prelude)
+    report = run_differential(program, params, backends, use_prelude, check_trace)
     if not report.conforms:
         raise AssertionError(report.explain())
     if require_success and not report.succeeded:
@@ -252,6 +327,7 @@ class ChaosRun:
     error: Optional[str] = None
     faulted: bool = False  # the run ended in a SuperstepFault
     state_restored: Optional[bool] = None  # SuperstepFault's atomicity bit
+    trace_signature: Optional[Tuple] = None  # abstract trace (check_trace)
 
     @property
     def ok(self) -> bool:
@@ -295,12 +371,23 @@ class ChaosReport:
                 and run.error == first.error
                 for run in self.runs
             )
-        return all(
+        if not all(
             run.ok
             and run.value_repr == reference.value_repr
             and run.cost == reference.cost
             for run in self.runs
-        )
+        ):
+            return False
+        # Trace conformance (check_trace): the chaos runs are compared
+        # against *each other*, not the clean reference — fault draws and
+        # retry events legitimately appear only under an armed plan, but
+        # the seeded plan must replay identically on every backend.
+        signatures = [
+            run.trace_signature
+            for run in self.runs
+            if run.trace_signature is not None
+        ]
+        return all(signature == signatures[0] for signature in signatures[1:])
 
     def explain(self) -> str:
         lines = [
@@ -339,42 +426,65 @@ def _chaos_observe(
     plan: Optional[FaultPlan],
     policy: Optional[RetryPolicy],
     use_prelude: Optional[bool],
+    check_trace: bool = False,
 ):
-    """Run once; return ``(value_repr, cost, error, faulted, restored)``."""
-    if isinstance(program, (str, Expr)):
-        expr = parse_program(program) if isinstance(program, str) else program
-        prelude = use_prelude if use_prelude is not None else isinstance(program, str)
-        try:
-            result = run_costed(
-                expr,
-                params,
-                use_prelude=prelude,
-                backend=backend,
-                faults=plan,
-                retry=policy,
-            )
-        except SuperstepFault as fault:
-            return None, None, _observe_error(fault), True, fault.state_restored
-        except Exception as error:
-            return None, None, _observe_error(error), False, None
-        return repr(result.value), result.cost, None, False, None
-    machine = BspMachine(
-        params, executor=get_executor(backend), faults=plan, retry=policy
-    )
-    context = Bsml(params, machine)
+    """Run once; return ``(value_repr, cost, error, faulted, restored,
+    trace_signature)``."""
+    collected: Optional[obs.Trace] = obs.start() if check_trace else None
+
+    def signature():
+        if collected is None:
+            return None
+        obs.stop(collected)
+        return collected.abstract_signature()
+
     try:
-        value = program(context)
-    except SuperstepFault as fault:
-        # The machine promises atomicity; double-check that whatever
-        # committed before the failed phase still decomposes cleanly.
-        restored = fault.state_restored and machine.cost().check_decomposition(
-            params
+        if isinstance(program, (str, Expr)):
+            expr = parse_program(program) if isinstance(program, str) else program
+            prelude = (
+                use_prelude if use_prelude is not None else isinstance(program, str)
+            )
+            try:
+                result = run_costed(
+                    expr,
+                    params,
+                    use_prelude=prelude,
+                    backend=backend,
+                    faults=plan,
+                    retry=policy,
+                )
+            except SuperstepFault as fault:
+                return (
+                    None,
+                    None,
+                    _observe_error(fault),
+                    True,
+                    fault.state_restored,
+                    signature(),
+                )
+            except Exception as error:
+                return None, None, _observe_error(error), False, None, signature()
+            return repr(result.value), result.cost, None, False, None, signature()
+        machine = BspMachine(
+            params, executor=get_executor(backend), faults=plan, retry=policy
         )
-        return None, None, _observe_error(fault), True, restored
-    except Exception as error:
-        return None, None, _observe_error(error), False, None
-    shown = value.to_list() if isinstance(value, ParVector) else value
-    return repr(shown), machine.cost(), None, False, None
+        context = Bsml(params, machine)
+        try:
+            value = program(context)
+        except SuperstepFault as fault:
+            # The machine promises atomicity; double-check that whatever
+            # committed before the failed phase still decomposes cleanly.
+            restored = fault.state_restored and machine.cost().check_decomposition(
+                params
+            )
+            return None, None, _observe_error(fault), True, restored, signature()
+        except Exception as error:
+            return None, None, _observe_error(error), False, None, signature()
+        shown = value.to_list() if isinstance(value, ParVector) else value
+        return repr(shown), machine.cost(), None, False, None, signature()
+    finally:
+        if collected is not None:
+            obs.stop(collected)
 
 
 def run_chaos(
@@ -385,6 +495,7 @@ def run_chaos(
     policy: Optional[RetryPolicy] = DEFAULT_CHAOS_POLICY,
     backends: Sequence[str] = BACKENDS,
     use_prelude: Optional[bool] = None,
+    check_trace: bool = False,
 ) -> ChaosReport:
     """Run ``program`` cleanly once, then under the seeded fault plan on
     every backend, and collect the observations.
@@ -392,10 +503,14 @@ def run_chaos(
     Each backend gets a **fresh plan from the same seed and rates**, so
     all of them replay the identical fault schedule; the clean sequential
     run is the reference the faulted runs must be indistinguishable from.
+    With ``check_trace`` the faulted runs' abstract trace signatures —
+    which include every injected fault and retry outcome — must agree
+    *with each other* (the clean reference legitimately lacks fault
+    events).
     """
     params = params or BspParams(p=4)
     rates = dict(DEFAULT_CHAOS_RATES if rates is None else rates)
-    value_repr, cost, error, _, _ = _chaos_observe(
+    value_repr, cost, error, _, _, _ = _chaos_observe(
         program, params, "seq", None, None, use_prelude
     )
     reference = BackendRun(
@@ -404,8 +519,8 @@ def run_chaos(
     report = ChaosReport(_describe(program), seed, reference)
     for backend in backends:
         plan = FaultPlan(seed=seed, **rates)
-        value_repr, cost, error, faulted, restored = _chaos_observe(
-            program, params, backend, plan, policy, use_prelude
+        value_repr, cost, error, faulted, restored, signature = _chaos_observe(
+            program, params, backend, plan, policy, use_prelude, check_trace
         )
         report.runs.append(
             ChaosRun(
@@ -415,6 +530,7 @@ def run_chaos(
                 error=error,
                 faulted=faulted,
                 state_restored=restored,
+                trace_signature=signature,
             )
         )
     return report
@@ -428,10 +544,13 @@ def assert_chaos_conformance(
     policy: Optional[RetryPolicy] = DEFAULT_CHAOS_POLICY,
     backends: Sequence[str] = BACKENDS,
     use_prelude: Optional[bool] = None,
+    check_trace: bool = False,
 ) -> ChaosReport:
     """Run :func:`run_chaos` and raise :class:`AssertionError` unless the
     chaos verdict holds.  Returns the report for further assertions."""
-    report = run_chaos(program, params, seed, rates, policy, backends, use_prelude)
+    report = run_chaos(
+        program, params, seed, rates, policy, backends, use_prelude, check_trace
+    )
     if not report.conforms:
         raise AssertionError(report.explain())
     return report

@@ -12,11 +12,19 @@ from repro.repl import Session, run_repl
 
 def drive(*lines, params=None):
     """Feed lines to a fresh session; return the output text."""
+    from repro import obs
+
     out = io.StringIO()
     session = Session(params)
-    for line in lines:
-        if not session.handle(line, out):
-            break
+    try:
+        for line in lines:
+            if not session.handle(line, out):
+                break
+    finally:
+        # run_repl owns this teardown in production; a bare Session test
+        # must not leak an active trace collector into later tests.
+        if session.trace_collector is not None:
+            obs.stop(session.trace_collector)
     return out.getvalue()
 
 
@@ -267,3 +275,155 @@ class TestBackendErrors:
         assert "error: backend 'thread' is unavailable" in out
         assert "backend: seq" in out  # still on the previous backend
         assert "- : int = 2" in out
+
+
+class TestTraceCommand:
+    """``:trace on|off|save|status`` (``:trace <expr>`` still small-steps)."""
+
+    def test_trace_expr_still_small_steps(self):
+        output = drive(":trace 1 + 2")
+        assert "1 + 2" in output
+        assert "3" in output
+
+    def test_status_off_by_default(self):
+        assert "tracing: off" in drive(":trace status")
+
+    def test_on_collects_and_save_writes(self, tmp_path):
+        from repro import obs
+
+        target = tmp_path / "session.json"
+        output = drive(
+            ":trace on",
+            "bcast 2 (mkpar (fun i -> i * i))",
+            ":trace status",
+            f":trace save {target}",
+        )
+        assert "tracing on" in output
+        assert "tracing: on" in output
+        assert "records ->" in output
+        assert obs.validate_chrome_trace(target) > 0
+
+    def test_off_pauses_and_on_resumes(self):
+        output = drive(
+            ":trace on",
+            "mkpar (fun i -> i)",
+            ":trace off",
+            ":trace status",
+            ":trace on",
+            ":trace status",
+        )
+        assert "tracing paused" in output
+        assert "tracing: paused" in output
+        assert "tracing resumed" in output
+
+    def test_window_survives_reset(self):
+        output = drive(
+            ":trace on",
+            "mkpar (fun i -> i)",
+            ":reset",
+            "mkpar (fun i -> i)",
+            ":trace status",
+        )
+        assert "session reset" in output
+        assert "tracing: on" in output
+
+    def test_save_before_on_is_friendly(self, tmp_path):
+        output = drive(f":trace save {tmp_path / 'x.json'}")
+        assert "nothing to save" in output
+
+    def test_save_without_path_shows_usage(self):
+        output = drive(":trace on", ":trace save")
+        assert "usage: :trace save" in output
+
+    def test_save_with_explicit_format(self, tmp_path):
+        target = tmp_path / "t.json"
+        output = drive(
+            ":trace on", "1 + 1", f":trace save {target} summary"
+        )
+        assert "records ->" in output
+        assert target.read_text().startswith("trace summary")
+
+    def test_save_with_unknown_format_is_rejected(self, tmp_path):
+        output = drive(
+            ":trace on", f":trace save {tmp_path / 't.json'} xml"
+        )
+        assert "unknown trace format" in output
+
+    def test_trace_already_on(self):
+        output = drive(":trace on", ":trace on")
+        assert "already on" in output
+
+    def test_off_before_on_is_friendly(self):
+        output = drive(":trace off")
+        assert "never on" in output
+
+    def test_session_trace_stack_unwinds(self):
+        from repro import obs
+
+        stdin = io.StringIO(":trace on\n1 + 1\n")
+        run_repl(stdin, io.StringIO(), params=BspParams(p=2), banner=False)
+        assert not obs.is_tracing()
+
+
+class TestRunReplTraceFile:
+    def test_trace_file_written_at_exit(self, tmp_path):
+        from repro import obs
+
+        target = tmp_path / "repl.json"
+        stdin = io.StringIO("bcast 0 (mkpar (fun i -> i))\n:quit\n")
+        out = io.StringIO()
+        code = run_repl(
+            stdin,
+            out,
+            params=BspParams(p=2),
+            banner=False,
+            trace_file=str(target),
+        )
+        assert code == 0
+        assert "records ->" in out.getvalue()
+        assert obs.validate_chrome_trace(target) > 0
+
+    def test_trace_format_respected(self, tmp_path):
+        target = tmp_path / "repl.out"
+        stdin = io.StringIO("1 + 1\n")
+        run_repl(
+            stdin,
+            io.StringIO(),
+            params=BspParams(p=2),
+            banner=False,
+            trace_file=str(target),
+            trace_format="jsonl",
+        )
+        import json
+
+        first = json.loads(target.read_text().splitlines()[0])
+        assert {"name", "track", "ts", "dur", "args"} == set(first)
+
+    def test_trace_window_closed_after_exit(self, tmp_path):
+        from repro import obs
+
+        run_repl(
+            io.StringIO(""),
+            io.StringIO(),
+            params=BspParams(p=2),
+            trace_file=str(tmp_path / "t.json"),
+        )
+        assert not obs.is_tracing()
+
+
+class TestStatsVerbose:
+    def _run(self, *lines):
+        stdin = io.StringIO("".join(line + "\n" for line in lines))
+        out = io.StringIO()
+        run_repl(stdin, out, params=BspParams(p=2), banner=False)
+        return out.getvalue()
+
+    def test_stats_verbose_lists_idle_caches(self):
+        output = self._run("1 + 1", ":stats verbose")
+        assert "perf stats:" in output
+        assert "0/0" in output
+
+    def test_plain_stats_hides_idle_caches(self):
+        output = self._run("1 + 1", ":stats")
+        assert "perf stats:" in output
+        assert "0/0" not in output

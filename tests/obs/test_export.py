@@ -1,0 +1,193 @@
+"""Tests for the trace exporters: Chrome JSON, JSONL, summaries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+def sample_trace() -> obs.Trace:
+    """A small hand-built trace spanning all three track families."""
+    collector = obs.start()
+    base = collector.epoch
+    obs.record("judgment", obs.INFERENCE_TRACK, base + 0.001, 0.004, node="App")
+    obs.record("superstep.compute", obs.MACHINE_TRACK, base + 0.002, 0.010, superstep=0)
+    obs.record("task", obs.process_track(0), base + 0.003, 0.002, proc=0, ops=5, superstep=0)
+    obs.record("task", obs.process_track(1), base + 0.004, 0.003, proc=1, ops=7, superstep=0)
+    obs.event("fault", obs.process_track(1), kind="crash", proc=1)
+    obs.event("superstep", obs.MACHINE_TRACK, superstep=0, w_max=7.0, h=3, words=3, label="put")
+    obs.stop(collector)
+    return collector
+
+
+class TestChrome:
+    def test_document_shape(self):
+        doc = obs.to_chrome(sample_trace())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_metadata_names_every_track(self):
+        trace = sample_trace()
+        doc = obs.to_chrome(trace)
+        named = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert named == trace.tracks()
+
+    def test_span_and_instant_phases(self):
+        doc = obs.to_chrome(sample_trace())
+        payload = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        phases = {e["name"]: e["ph"] for e in payload}
+        assert phases["task"] == "X"
+        assert phases["fault"] == "i"
+        durations = [e["dur"] for e in payload if e["ph"] == "X"]
+        assert all(d >= 0 for d in durations)
+
+    def test_timestamps_sorted_and_microseconds(self):
+        doc = obs.to_chrome(sample_trace())
+        payload = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        stamps = [e["ts"] for e in payload]
+        assert stamps == sorted(stamps)
+        judgment = next(e for e in payload if e["name"] == "judgment")
+        assert judgment["ts"] == pytest.approx(1000.0)
+        assert judgment["dur"] == pytest.approx(4000.0)
+
+    def test_validates_and_roundtrips(self, tmp_path):
+        trace = sample_trace()
+        path = obs.write_chrome(trace, tmp_path / "out.json")
+        count = obs.validate_chrome_trace(path)
+        assert count == len(json.loads(path.read_text())["traceEvents"])
+        assert obs.validate_chrome_trace(path.read_text()) == count
+        assert obs.validate_chrome_trace(json.loads(path.read_text())) == count
+
+
+class TestValidator:
+    def test_rejects_missing_tracevents(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            obs.validate_chrome_trace({"foo": []})
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError, match="empty"):
+            obs.validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            obs.validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "i", "pid": 1, "tid": 0}]}
+            )
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            obs.validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "Z", "pid": 1, "tid": 0, "ts": 0}
+                    ]
+                }
+            )
+
+    def test_rejects_nonmonotone_track(self):
+        events = [
+            {"name": "a", "ph": "i", "pid": 1, "tid": 0, "ts": 10.0},
+            {"name": "b", "ph": "i", "pid": 1, "tid": 0, "ts": 5.0},
+        ]
+        with pytest.raises(ValueError, match="monotonicity"):
+            obs.validate_chrome_trace({"traceEvents": events})
+
+    def test_accepts_nonmonotone_across_tracks(self):
+        events = [
+            {"name": "a", "ph": "i", "pid": 1, "tid": 0, "ts": 10.0},
+            {"name": "b", "ph": "i", "pid": 1, "tid": 1, "ts": 5.0},
+        ]
+        assert obs.validate_chrome_trace({"traceEvents": events}) == 2
+
+    def test_rejects_span_without_duration(self):
+        events = [{"name": "a", "ph": "X", "pid": 1, "tid": 0, "ts": 0.0}]
+        with pytest.raises(ValueError, match="dur"):
+            obs.validate_chrome_trace({"traceEvents": events})
+
+
+class TestJsonl:
+    def test_one_line_per_record(self, tmp_path):
+        trace = sample_trace()
+        path = obs.write_jsonl(trace, tmp_path / "out.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(trace.records)
+        first = json.loads(lines[0])
+        assert set(first) == {"name", "track", "ts", "dur", "args"}
+        assert first["name"] == "judgment"
+        assert first["ts"] == pytest.approx(0.001)
+
+    def test_instants_have_null_dur(self):
+        lines = [json.loads(line) for line in obs.to_jsonl(sample_trace())]
+        fault = next(line for line in lines if line["name"] == "fault")
+        assert fault["dur"] is None
+        assert fault["args"] == {"kind": "crash", "proc": 1}
+
+
+class TestHistograms:
+    def test_percentiles_and_ordering(self):
+        collector = obs.start()
+        for ms in (1, 2, 3, 4, 100):
+            obs.record("slow", obs.MACHINE_TRACK, 0.0, ms / 1e3)
+        obs.record("fast", obs.MACHINE_TRACK, 0.0, 0.0001)
+        obs.stop(collector)
+        rows = obs.histograms(collector)
+        assert [r.name for r in rows] == ["slow", "fast"]
+        slow = rows[0]
+        assert slow.count == 5
+        assert slow.p50 == pytest.approx(0.003)
+        assert slow.p95 == pytest.approx(0.100)
+        assert slow.max == pytest.approx(0.100)
+        assert slow.total == pytest.approx(0.110)
+
+    def test_empty_trace_has_no_histograms(self):
+        collector = obs.start()
+        obs.stop(collector)
+        assert obs.histograms(collector) == []
+
+    def test_superstep_rows_join_commit_and_phases(self):
+        rows = obs.superstep_rows(sample_trace())
+        assert len(rows) == 1
+        assert rows[0]["w_max"] == 7.0
+        assert rows[0]["h"] == 3
+        assert rows[0]["label"] == "put"
+        assert rows[0]["measured_s"] == pytest.approx(0.010)
+
+
+class TestSummary:
+    def test_mentions_sections(self):
+        report = obs.summarize(sample_trace())
+        assert "span latencies" in report
+        assert "events:" in report
+        assert "supersteps (modelled vs measured)" in report
+        assert "task" in report and "fault" in report
+
+    def test_empty_summary(self):
+        collector = obs.start()
+        obs.stop(collector)
+        assert "(nothing recorded)" in obs.summarize(collector)
+
+
+class TestWriteTrace:
+    def test_suffix_dispatch(self, tmp_path):
+        trace = sample_trace()
+        chrome = obs.write_trace(trace, tmp_path / "a.json")
+        jsonl = obs.write_trace(trace, tmp_path / "b.jsonl")
+        summary = obs.write_trace(trace, tmp_path / "c.txt")
+        obs.validate_chrome_trace(chrome)
+        assert len(jsonl.read_text().strip().splitlines()) == len(trace.records)
+        assert summary.read_text().startswith("trace summary")
+
+    def test_explicit_format_wins(self, tmp_path):
+        path = obs.write_trace(sample_trace(), tmp_path / "a.json", format="summary")
+        assert path.read_text().startswith("trace summary")
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            obs.write_trace(sample_trace(), tmp_path / "a.json", format="xml")

@@ -6,7 +6,7 @@ from functools import lru_cache
 
 import pytest
 
-from repro import perf
+from repro import obs, perf
 
 
 class TestCounters:
@@ -111,6 +111,104 @@ class TestCacheReports:
             pass
         with pytest.raises(KeyError):
             stats.hit_rate("no-such-cache")
+
+
+class TestRenderVerbose:
+    def test_default_render_hides_zero_call_caches(self):
+        import repro.core.constraints  # noqa: F401  (registers on import)
+
+        stats = perf.PerfStats()
+        stats.snapshot_caches()  # baseline == now: zero deltas everywhere
+        assert "constraints.solve" not in stats.render()
+
+    def test_verbose_render_includes_zero_call_caches(self):
+        import repro.core.constraints  # noqa: F401
+
+        stats = perf.PerfStats()
+        stats.snapshot_caches()
+        text = stats.render(verbose=True)
+        assert "constraints.solve" in text
+        assert "0/0" in text
+
+    def test_cache_order_is_deterministic_by_name(self):
+        @lru_cache(maxsize=None)
+        def zzz(x):
+            return x
+
+        @lru_cache(maxsize=None)
+        def aaa(x):
+            return x
+
+        # registration order is deliberately reversed alphabetically
+        perf.register_cache("test.zzz", zzz)
+        perf.register_cache("test.aaa", aaa)
+        try:
+            with perf.collect() as stats:
+                zzz(1)
+                aaa(1)
+            names = [r.name for r in stats.cache_reports()]
+            assert names == sorted(names)
+            text = stats.render(verbose=True)
+            assert text.index("test.aaa") < text.index("test.zzz")
+        finally:
+            del perf.counters._REGISTERED_CACHES["test.zzz"]
+            del perf.counters._REGISTERED_CACHES["test.aaa"]
+
+
+class TestPerfAndTracingTogether:
+    """Nested perf.collect() scopes interacting with the tracer: the two
+    stacks are independent, and every active collector of each kind sees
+    the instrumentation fired inside its window."""
+
+    def test_nested_perf_scopes_with_active_tracer(self):
+        from repro import run_program
+
+        with obs.trace() as trace:
+            with perf.collect() as outer:
+                run_program("mkpar (fun i -> i)", p=2)
+                first_runs = outer.counter("infer.runs")
+                spans_after_first = len(trace.records)
+                with perf.collect() as inner:
+                    run_program("mkpar (fun i -> i + 1)", p=2)
+        # both perf windows saw their own counter totals: the outer one
+        # accumulated the first run plus everything the inner one saw
+        assert first_runs > 0
+        assert inner.counter("infer.runs") > 0
+        assert outer.counter("infer.runs") == first_runs + inner.counter(
+            "infer.runs"
+        )
+        # the tracer kept collecting across both perf scopes
+        assert len(trace.records) > spans_after_first > 0
+
+    def test_nested_tracers_with_active_perf_scope(self):
+        from repro import run_program
+
+        with perf.collect() as stats:
+            with obs.trace() as outer:
+                run_program("mkpar (fun i -> i)", p=2)
+                with obs.trace() as inner:
+                    run_program("mkpar (fun i -> i * 2)", p=2)
+        assert stats.counter("infer.runs") > 0
+        assert len(inner.records) > 0
+        # the outer tracer saw everything the inner one saw, plus its own
+        assert len(outer.records) > len(inner.records)
+        assert outer.records[-len(inner.records):] == inner.records
+
+    def test_perf_without_tracing_records_no_spans(self):
+        from repro import run_program
+
+        with perf.collect() as stats:
+            run_program("mkpar (fun i -> i)", p=2)
+        assert stats.counter("infer.runs") > 0
+        assert not obs.is_tracing()
+
+    def test_tracing_without_perf_counts_nothing(self):
+        from repro import run_program
+
+        with obs.trace() as trace:
+            run_program("mkpar (fun i -> i)", p=2)
+        assert not perf.is_collecting()
+        assert trace.spans("judgment")
 
 
 class TestStartStop:

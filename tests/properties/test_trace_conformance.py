@@ -1,0 +1,128 @@
+"""Trace conformance across execution backends (ISSUE acceptance
+criterion).
+
+The abstract projection of a structured trace — superstep structure,
+h-relations per superstep, abstract op counts, fault draws and retry
+outcomes — is deterministic for a deterministic program, so it must be
+bit-identical whichever backend ran the computation phases.  Timestamps,
+durations and backend lifecycle records (``backend.*``) are excluded by
+construction (:meth:`repro.obs.Trace.abstract_signature`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import obs
+from repro.bsp.faults import RetryPolicy
+from repro.bsp.params import BspParams
+from repro.testing import (
+    assert_chaos_conformance,
+    assert_conformance,
+    run_chaos,
+    run_differential,
+)
+
+PROGRAMS = (
+    "bcast 2 (mkpar (fun i -> i * i))",
+    "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> i))",
+    "let v = mkpar (fun i -> i + 1) in bcast 0 v",
+)
+
+CHAOS_SEEDS = int(os.environ.get("TRACE_CHAOS_SEEDS", "12"))
+
+
+class TestDifferentialTraceConformance:
+    def test_signatures_collected_and_identical(self):
+        report = run_differential(PROGRAMS[0], check_trace=True)
+        assert all(run.trace_signature is not None for run in report.runs)
+        reference = report.reference.trace_signature
+        assert reference  # non-empty: the machine emitted abstract records
+        for run in report.runs[1:]:
+            assert run.trace_signature == reference
+        assert report.conforms
+
+    def test_signatures_absent_without_check_trace(self):
+        report = run_differential(PROGRAMS[0])
+        assert all(run.trace_signature is None for run in report.runs)
+
+    def test_corpus_conforms_with_traces(self):
+        for source in PROGRAMS:
+            assert_conformance(source, check_trace=True, require_success=True)
+
+    def test_divergent_signature_fails_conformance(self):
+        report = run_differential(PROGRAMS[0], check_trace=True)
+        assert report.conforms
+        doctored = report.runs[1].trace_signature + (
+            ("fault", "proc 0", (("kind", "crash"),)),
+        )
+        report.runs[1].trace_signature = doctored
+        assert not report.conforms
+        assert "trace diverges" in report.explain()
+
+    def test_divergence_pinpoints_first_record(self):
+        report = run_differential(PROGRAMS[0], check_trace=True)
+        signature = list(report.runs[1].trace_signature)
+        signature[0] = ("task", "proc 999", ())
+        report.runs[1].trace_signature = tuple(signature)
+        assert "at record 0" in report.explain()
+
+
+class TestChaosTraceConformance:
+    def test_fault_schedule_identical_across_backends(self):
+        for seed in range(CHAOS_SEEDS):
+            report = run_chaos(
+                PROGRAMS[0],
+                seed=seed,
+                policy=RetryPolicy(max_attempts=6, base_delay=0.0),
+                check_trace=True,
+            )
+            signatures = [
+                run.trace_signature for run in report.runs if run.ok
+            ]
+            for signature in signatures[1:]:
+                assert signature == signatures[0]
+            assert report.conforms, report.explain()
+
+    def test_survivable_chaos_trace_contains_fault_events(self):
+        # Seeds chosen so the default rates inject at least one fault
+        # while the generous policy still survives; the point is that the
+        # injected schedule itself is part of the conforming signature.
+        seen_fault = False
+        for seed in range(CHAOS_SEEDS):
+            report = assert_chaos_conformance(
+                PROGRAMS[1],
+                seed=seed,
+                policy=RetryPolicy(max_attempts=6, base_delay=0.0),
+                check_trace=True,
+            )
+            if not report.survivable:
+                continue
+            signature = report.runs[0].trace_signature
+            if any(entry[0] == "fault" for entry in signature):
+                seen_fault = True
+        assert seen_fault
+
+    def test_clean_reference_lacks_fault_events_yet_conforms(self):
+        report = run_chaos(PROGRAMS[0], seed=1, check_trace=True)
+        # the clean reference run is not traced; conformance is judged
+        # between the chaos runs themselves
+        assert report.reference.trace_signature is None
+        assert report.conforms, report.explain()
+
+
+class TestTraceVersusCost:
+    def test_commit_events_agree_with_cost_totals(self):
+        params = BspParams(p=4)
+        with obs.trace() as t:
+            from repro.semantics.costed import run_costed
+            from repro.lang.parser import parse_program
+
+            result = run_costed(
+                parse_program(PROGRAMS[0]), params, use_prelude=True
+            )
+        commits = t.events("superstep")
+        synchronized = [s for s in result.cost.supersteps if s.synchronized]
+        assert len(commits) >= len(synchronized)
+        traced_h = sum(c.arg("h") for c in commits)
+        assert traced_h == result.cost.H
