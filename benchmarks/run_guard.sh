@@ -1,12 +1,15 @@
 #!/bin/sh
-# CI guard: the tier-1 test suite plus the solver-cache speedup bench.
+# CI guard: the tier-1 test suite plus the speedup benches.
 #
 # Run from the repository root:
 #
 #     sh benchmarks/run_guard.sh
 #
-# Fails (non-zero exit) if any tier-1 test fails or if the memoization
-# layer no longer delivers the required >= 2x cold-vs-warm speedup.
+# Fails (non-zero exit) if any tier-1 test fails, if the memoization
+# layer no longer delivers the required >= 2x cold-vs-warm speedup, or
+# if the compiled evaluation engine no longer delivers the required
+# >= 2x warm speedup over the tree evaluator (with bit-identical
+# BspCost tables and trace signatures).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,3 +21,6 @@ python -m pytest -x -q
 
 echo "== solver-cache speedup guard =="
 python -m pytest benchmarks/bench_solver_cache.py -q --benchmark-disable
+
+echo "== compiled-engine speedup guard =="
+python -m pytest benchmarks/bench_evaluators.py -q --benchmark-disable

@@ -90,12 +90,17 @@ def run_program(
     backend: str = "seq",
     faults=None,
     retry=None,
+    engine: str = "tree",
 ) -> CostedResult:
     """Typecheck (unless ``typed=False``) and run a program with costs.
 
     ``backend`` picks the execution backend (``seq``, ``thread``,
     ``process``) for the per-process computation phases; the value and
     the abstract cost are backend-independent.
+
+    ``engine`` picks the evaluation engine (``tree`` or ``compiled``);
+    values, costs and traces are engine-independent too — ``compiled``
+    is just faster.
 
     ``faults``/``retry`` optionally arm a deterministic
     :class:`repro.bsp.FaultPlan` and :class:`repro.bsp.RetryPolicy`:
@@ -115,6 +120,7 @@ def run_program(
         backend=backend,
         faults=faults,
         retry=retry,
+        engine=engine,
     )
 
 

@@ -44,6 +44,7 @@ message naming the valid backends.
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 import threading
@@ -112,6 +113,16 @@ def _run_pickled(blob: bytes) -> TaskOutcome:
     is importable — hence picklable — in the child)."""
     task = pickle.loads(blob)
     return _timed(task)
+
+
+def _run_parts(blobs: Sequence[bytes]) -> TaskOutcome:
+    """Worker entry point for part-wise pickled ``functools.partial``
+    tasks: ``blobs[0]`` is the function, the rest its positional
+    arguments, each pickled separately so the parent can reuse one blob
+    for an object shared across a superstep's tasks (typically the
+    closure environment every per-process task carries)."""
+    parts = [pickle.loads(blob) for blob in blobs]
+    return _timed(functools.partial(parts[0], *parts[1:]))
 
 
 class SequentialExecutor:
@@ -265,14 +276,41 @@ class ProcessExecutor:
         outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         futures: Dict[int, Any] = {}
         fallback_causes: Dict[int, BaseException] = {}
+        # Per-phase pickle cache, keyed by object identity.  The tasks of
+        # one superstep usually share big immutable parts — every
+        # per-process task carries the *same* function value (its closure
+        # environment included), which used to be re-pickled p times.
+        # Identity keys are safe exactly for the duration of this call:
+        # ``tasks`` keeps every part alive, so an id cannot be recycled.
+        # Part-wise pickling trades away aliasing *between* the parts of
+        # one task, which is sound here: evaluator values are immutable,
+        # and the one mutable value (``VRef``) refuses to pickle at all.
+        cache: Dict[int, bytes] = {}
+
+        def dump_part(part: Any) -> bytes:
+            key = id(part)
+            blob = cache.get(key)
+            if blob is not None:
+                perf.increment("bsp.backend.process.pickle_cache_hit")
+                return blob
+            blob = pickle.dumps(part)
+            perf.increment("bsp.backend.process.pickle_cache_miss")
+            cache[key] = blob
+            return blob
+
         for index, task in enumerate(tasks):
             try:
-                blob = pickle.dumps(task)
+                if isinstance(task, functools.partial) and not task.keywords:
+                    blobs = [dump_part(task.func)]
+                    blobs.extend(dump_part(arg) for arg in task.args)
+                    entry = (_run_parts, blobs)
+                else:
+                    entry = (_run_pickled, pickle.dumps(task))
             except Exception as error:
                 fallback_causes[index] = error  # runs inline below
                 continue
             try:
-                futures[index] = self._ensure().submit(_run_pickled, blob)
+                futures[index] = self._ensure().submit(*entry)
             except BackendUnavailableError:
                 raise
             except Exception as error:

@@ -106,6 +106,7 @@ def _traced_run(args: argparse.Namespace):
             backend=args.backend,
             faults=faults,
             retry=retry,
+            engine=args.engine,
         )
 
     trace_path = getattr(args, "trace", None)
@@ -143,6 +144,7 @@ def _command_profile(args: argparse.Namespace) -> int:
             backend=args.backend,
             faults=faults,
             retry=retry,
+            engine=args.engine,
         )
     print(result.python_value)
     print(result.render())
@@ -225,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(value and abstract cost are backend-independent)",
     )
     run.add_argument(
+        "--engine",
+        choices=("tree", "compiled"),
+        default="tree",
+        help="evaluation engine: tree (big-step interpreter) or compiled "
+        "(closure-compiling, slot-indexed environments); value, cost and "
+        "trace are engine-independent",
+    )
+    run.add_argument(
         "--faults",
         metavar="SPEC",
         help="arm deterministic fault injection, e.g. "
@@ -252,6 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("seq", "thread", "process"),
         default="seq",
         help="execution backend for the per-process computation phases",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=("tree", "compiled"),
+        default="tree",
+        help="evaluation engine for the profiled run",
     )
     profile.add_argument(
         "--faults",
@@ -291,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="initial execution backend (also :backend in the session)",
     )
     repl.add_argument(
+        "--engine",
+        choices=("tree", "compiled"),
+        default="tree",
+        help="initial evaluation engine (also :engine in the session)",
+    )
+    repl.add_argument(
         "--faults",
         metavar="SPEC",
         help="arm deterministic fault injection for the session "
@@ -324,6 +346,7 @@ def _command_repl(args: argparse.Namespace) -> int:
         fault_spec=args.faults,
         trace_file=args.trace,
         trace_format=args.trace_format,
+        engine=args.engine,
     )
 
 

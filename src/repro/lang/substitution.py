@@ -11,6 +11,8 @@ from __future__ import annotations
 from itertools import count
 from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator
 
+from repro import perf
+
 from repro.lang.ast import (
     Annot,
     App,
@@ -32,7 +34,30 @@ from repro.lang.ast import (
 
 
 def free_vars(expr: Expr) -> FrozenSet[str]:
-    """The set of free variables of ``expr`` (the paper's ``F(e)``)."""
+    """The set of free variables of ``expr`` (the paper's ``F(e)``).
+
+    Memoized on node identity: AST nodes are immutable (frozen
+    dataclasses), so a node's free-variable set never changes, and the
+    small-step machine asks for the same subterms' sets over and over
+    while rewriting around them.  The cache rides on the node itself
+    (an ``object.__setattr__`` side-channel, like source locations), so
+    it lives exactly as long as the node and subterm sharing after
+    substitution shares the cached sets too.  Hit rates surface as the
+    ``lang.free_vars`` perf counters.
+    """
+    cached = getattr(expr, "_free_vars_cache", None)
+    if cached is not None:
+        if perf.is_collecting():
+            perf.increment("lang.free_vars.hit")
+        return cached
+    if perf.is_collecting():
+        perf.increment("lang.free_vars.miss")
+    result = _free_vars_of(expr)
+    object.__setattr__(expr, "_free_vars_cache", result)
+    return result
+
+
+def _free_vars_of(expr: Expr) -> FrozenSet[str]:
     if isinstance(expr, Var):
         return frozenset((expr.name,))
     if isinstance(expr, (Const, Prim)):

@@ -17,6 +17,8 @@ Meta-commands::
     :stats           print perf counters and solver-cache hit rates
                      (:stats verbose includes zero-call caches)
     :backend [name]  show or switch the execution backend (seq/thread/process)
+    :engine [name]   show or switch the evaluation engine (tree/compiled);
+                     value, cost and trace are engine-independent
     :faults [SPEC]   show, arm (e.g. seed=42,crash=0.1,attempts=4) or
                      disarm (:faults off) deterministic fault injection
     :reset           forget definitions and cost
@@ -53,7 +55,7 @@ from repro.lang.parser import _Parser
 from repro.lang.prelude import prelude_map, with_prelude
 from repro.lang.pretty import pretty
 from repro.lang.substitution import free_vars, substitute
-from repro.semantics.bigstep import Evaluator
+from repro.semantics.compiled import ENGINES, get_engine
 from repro.semantics.errors import EvalError
 from repro.semantics.smallstep import trace as smallstep_trace
 from repro.semantics.values import Value, reify
@@ -67,9 +69,11 @@ class Session:
         params: Optional[BspParams] = None,
         backend: str = "seq",
         fault_spec: Optional[str] = None,
+        engine: str = "tree",
     ) -> None:
         self.params = params or BspParams(p=4, g=1.0, l=20.0)
         self.backend = backend
+        self.engine = engine
         #: The armed ``:faults`` spec (re-armed with a fresh plan, same
         #: seed, on every :meth:`reset`); None when faults are off.
         self.fault_spec = fault_spec
@@ -86,11 +90,12 @@ class Session:
         if self.fault_spec:
             plan, policy = parse_fault_spec(self.fault_spec)
             self.machine.arm_faults(plan, policy)
-        self.evaluator = Evaluator(self.params.p, self.machine)
+        engine_cls = get_engine(self.engine)
+        self.evaluator = engine_cls(self.params.p, self.machine)
         self.type_env: TypeEnv = prelude_env()
         self.values: Dict[str, Value] = {}
         for name, body in prelude_map().items():
-            self.values[name] = Evaluator(self.params.p).eval(
+            self.values[name] = engine_cls(self.params.p).eval(
                 with_prelude(body)
             )
         self.definitions: Dict[str, str] = {}
@@ -171,6 +176,29 @@ class Session:
                 file=out,
             )
             return True
+        if command == ":engine":
+            if not rest:
+                print(
+                    f"engine: {self.engine} (available: {', '.join(ENGINES)})",
+                    file=out,
+                )
+                return True
+            try:
+                engine_cls = get_engine(rest)
+            except ValueError as error:
+                print(f"error: {error}", file=out)
+                return True
+            self.engine = rest
+            # Only the evaluator changes; machine, definitions and
+            # accumulated cost carry over (both engines apply each
+            # other's closures, so mixed-engine values keep working).
+            self.evaluator = engine_cls(self.params.p, self.machine)
+            print(
+                f"engine switched to {rest} "
+                "(definitions and accumulated cost carry over)",
+                file=out,
+            )
+            return True
         if command == ":faults":
             if not rest:
                 plan, policy = self.machine.faults, self.machine.retry
@@ -224,7 +252,7 @@ class Session:
             print(f"machine restarted: {self.params.describe()}", file=out)
             return True
         print(f"unknown command {command!r} (try :type :explain :trace :cost "
-              ":stats :backend :faults :reset :env :p :quit)", file=out)
+              ":stats :backend :engine :faults :reset :env :p :quit)", file=out)
         return True
 
     def _trace_meta(self, word: str, rest: str, out: TextIO) -> None:
@@ -343,6 +371,7 @@ def run_repl(
     fault_spec: Optional[str] = None,
     trace_file: Optional[str] = None,
     trace_format: Optional[str] = None,
+    engine: str = "tree",
 ) -> int:
     """Run the REPL loop until EOF or ``:quit``.
 
@@ -359,7 +388,7 @@ def run_repl(
     """
     stdin = input_stream if input_stream is not None else sys.stdin
     out = output_stream if output_stream is not None else sys.stdout
-    session = Session(params, backend=backend, fault_spec=fault_spec)
+    session = Session(params, backend=backend, fault_spec=fault_spec, engine=engine)
     if trace_file:
         session.trace_collector = obs.start()
     interactive = stdin.isatty() if hasattr(stdin, "isatty") else False

@@ -47,17 +47,19 @@ from repro.lang.ast import (
     Tuple as TupleE,
     Var,
 )
-from repro.semantics.errors import (
-    DynamicNestingError,
-    EvalError,
-    RefContextError,
-    ReplicaDivergenceError,
+from repro.semantics.errors import DynamicNestingError, EvalError
+from repro.semantics.primops import (
+    BINARY_SCALAR,
+    PARALLEL_PRIMS,
+    apply_binary,
+    assign_ref,
+    deref_ref,
 )
-from repro.semantics.primops import BINARY_SCALAR, PARALLEL_PRIMS, apply_binary
 from repro.semantics.values import (
     NC_VALUE,
     Value,
     VClosure,
+    VCompiledClosure,
     VDelivered,
     VInl,
     VInr,
@@ -196,6 +198,13 @@ class Evaluator:
     def apply(self, fn: Value, arg: Value) -> Value:
         if isinstance(fn, VClosure):
             return self._eval(fn.body, {**fn.env, fn.param: arg})
+        if isinstance(fn, VCompiledClosure):
+            # Engine interop (REPL sessions can mix engines): run the
+            # compiled closure with this evaluator's context so charges
+            # land exactly where the tree evaluator would put them.
+            from repro.semantics.compiled import call_compiled
+
+            return call_compiled(self, fn, arg)
         if isinstance(fn, VDelivered):
             if isinstance(arg, bool) or not isinstance(arg, int):
                 raise EvalError("a delivered-messages function expects an int")
@@ -245,52 +254,18 @@ class Evaluator:
         raise EvalError(f"unknown primitive {name!r}")
 
     def _deref(self, ref: Value) -> Value:
-        if not isinstance(ref, VRef):
-            raise EvalError("'!' expects a reference")
-        if self._proc is not None:
-            if ref.origin is not None and ref.origin != self._proc:
-                raise RefContextError(
-                    f"reference created on process {ref.origin} dereferenced "
-                    f"on process {self._proc}"
-                )
-            return ref.cells[self._proc]
-        if ref.origin is not None:
-            raise RefContextError(
-                f"reference created on process {ref.origin} dereferenced "
-                "in replicated (global) context"
-            )
-        if not ref.coherent:
-            raise ReplicaDivergenceError(
-                "global dereference of a diverged replicated reference: its "
-                f"per-process values are {ref.cells!r} — assigning inside a "
-                "parallel vector desynchronized the replicas (the section 6 "
-                "scenario the paper's planned effect typing would reject)"
-            )
-        return ref.cells[0]
+        return deref_ref(ref, self._proc, self.p)
 
     def _assign(self, ref: VRef, value: Value) -> Value:
-        from repro.lang.ast import UNIT
-
-        if self._proc is not None:
-            if ref.origin is not None and ref.origin != self._proc:
-                raise RefContextError(
-                    f"reference created on process {ref.origin} assigned "
-                    f"on process {self._proc}"
-                )
-            ref.cells[self._proc] = value
-        else:
-            if ref.origin is not None:
-                raise RefContextError(
-                    f"reference created on process {ref.origin} assigned "
-                    "in replicated (global) context"
-                )
-            for i in range(self.p):
-                ref.cells[i] = value
-        return UNIT
+        return assign_ref(ref, value, self._proc, self.p)
 
     def _fix(self, fn: Value) -> Value:
         """Call-by-value fixpoint: ``fix (fun f -> fun x -> e)`` ties the
         recursive closure's knot through its own environment."""
+        if isinstance(fn, VCompiledClosure):
+            from repro.semantics.compiled import fix_value
+
+            return fix_value(self.p, fn)
         if not isinstance(fn, VClosure):
             raise EvalError("'fix' expects a function")
         if not isinstance(fn.body, Fun):

@@ -18,7 +18,7 @@ from repro.lang.ast import Expr
 from repro.lang.limits import deep_recursion
 from repro.lang.parser import parse_program
 from repro.lang.prelude import with_prelude
-from repro.semantics.bigstep import Evaluator
+from repro.semantics.compiled import get_engine
 from repro.semantics.values import Value, to_python
 
 
@@ -51,6 +51,7 @@ def run_costed(
     backend: str = "seq",
     faults=None,
     retry=None,
+    engine: str = "tree",
 ) -> CostedResult:
     """Evaluate ``expr`` at size ``params.p`` with full cost accounting.
 
@@ -59,6 +60,12 @@ def run_costed(
     :mod:`repro.bsp.executor`).  The value and the abstract cost are
     identical on every backend — the differential harness in
     :mod:`repro.testing.differential` enforces exactly that.
+
+    ``engine`` selects the evaluation engine: ``tree`` (the
+    environment-passing big-step evaluator, the default) or ``compiled``
+    (the closure-compiling engine of :mod:`repro.semantics.compiled`).
+    Values, costs, and trace signatures are engine-independent by
+    construction — the ``check_engines`` differential mode enforces it.
 
     ``faults``/``retry`` arm a :class:`~repro.bsp.faults.FaultPlan` and
     :class:`~repro.bsp.faults.RetryPolicy` on the machine: supersteps
@@ -73,9 +80,10 @@ def run_costed(
     machine = BspMachine(
         params, executor=get_executor(backend), faults=faults, retry=retry
     )
+    evaluator_cls = get_engine(engine)
     with deep_recursion():
         program = with_prelude(expr) if use_prelude else expr
-        value = Evaluator(params.p, machine).eval(program)
+        value = evaluator_cls(params.p, machine).eval(program)
     return CostedResult(value, machine.cost(), params)
 
 
@@ -87,8 +95,15 @@ def run_source(
     backend: str = "seq",
     faults=None,
     retry=None,
+    engine: str = "tree",
 ) -> CostedResult:
     """Parse a program (definitions + final expression) and run it costed."""
     return run_costed(
-        parse_program(source, filename), params, use_prelude, backend, faults, retry
+        parse_program(source, filename),
+        params,
+        use_prelude,
+        backend,
+        faults,
+        retry,
+        engine,
     )

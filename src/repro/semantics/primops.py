@@ -1,16 +1,22 @@
 """Shared meaning of the scalar primitive operators.
 
-Both evaluators (the AST-rewriting small-step machine and the
-environment-based big-step evaluator) delegate the arithmetic, comparison
-and boolean delta-rules to these tables so the two semantics cannot drift
-apart on scalar behaviour.
+All evaluators (the AST-rewriting small-step machine, the
+environment-based big-step evaluator, and the closure-compiling engine)
+delegate the arithmetic, comparison and boolean delta-rules to these
+tables — and the imperative extension's reference access rules to
+:func:`deref_ref`/:func:`assign_ref` — so the semantics cannot drift
+apart on scalar or reference behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
-from repro.semantics.errors import DivisionByZeroError
+from repro.semantics.errors import (
+    DivisionByZeroError,
+    RefContextError,
+    ReplicaDivergenceError,
+)
 
 
 def _div(a: int, b: int) -> int:
@@ -82,3 +88,65 @@ def apply_binary(name: str, left, right):
 
 #: The four parallel primitives of the paper.
 PARALLEL_PRIMS = frozenset(("mkpar", "apply", "put"))
+
+
+def deref_ref(ref, proc: Optional[int], p: int):
+    """Dereference ``ref`` in context ``proc`` (None = replicated).
+
+    Enforces the locality discipline of the imperative extension (paper
+    section 6): a component-local reference may only be read on its
+    creating process, and a replicated reference may only be read
+    globally while its per-process replicas still agree.
+    """
+    from repro.semantics.errors import EvalError
+    from repro.semantics.values import VRef
+
+    if not isinstance(ref, VRef):
+        raise EvalError("'!' expects a reference")
+    if proc is not None:
+        if ref.origin is not None and ref.origin != proc:
+            raise RefContextError(
+                f"reference created on process {ref.origin} dereferenced "
+                f"on process {proc}"
+            )
+        return ref.cells[proc]
+    if ref.origin is not None:
+        raise RefContextError(
+            f"reference created on process {ref.origin} dereferenced "
+            "in replicated (global) context"
+        )
+    if not ref.coherent:
+        raise ReplicaDivergenceError(
+            "global dereference of a diverged replicated reference: its "
+            f"per-process values are {ref.cells!r} — assigning inside a "
+            "parallel vector desynchronized the replicas (the section 6 "
+            "scenario the paper's planned effect typing would reject)"
+        )
+    return ref.cells[0]
+
+
+def assign_ref(ref, value, proc: Optional[int], p: int):
+    """Assign ``value`` through ``ref`` in context ``proc``; returns unit.
+
+    In replicated context every process replica is updated (the SPMD
+    reading of a global assignment); inside a parallel-vector component
+    only that process's cell changes.
+    """
+    from repro.lang.ast import UNIT
+
+    if proc is not None:
+        if ref.origin is not None and ref.origin != proc:
+            raise RefContextError(
+                f"reference created on process {ref.origin} assigned "
+                f"on process {proc}"
+            )
+        ref.cells[proc] = value
+    else:
+        if ref.origin is not None:
+            raise RefContextError(
+                f"reference created on process {ref.origin} assigned "
+                "in replicated (global) context"
+            )
+        for i in range(p):
+            ref.cells[i] = value
+    return UNIT

@@ -132,6 +132,49 @@ class VClosure:
         return id(self)
 
 
+class VCompiledClosure:
+    """A function value produced by the closure-compiling evaluator
+    (:mod:`repro.semantics.compiled`).
+
+    The source ``param``/``body`` are kept so the value weighs
+    (:func:`words`) and reifies (:func:`reify`) exactly like the tree
+    evaluator's :class:`VClosure` for the same program point.  ``code``
+    is the compiled body: a callable ``code(rt, frame)`` running against
+    a slot-indexed frame laid out ``[argument, *captured cells, *let
+    slots]`` (``frame_size`` slots in total).  ``capture_names`` lists
+    the captured free variables in slot order — exactly
+    ``free_vars(body) - {param}`` restricted to the lexical scope — and
+    ``cells`` holds their values, copied at closure creation.  ``cells``
+    is a mutable list because ``fix`` ties the recursive knot by
+    patching the self-capture after the fact.  Identity equality, like
+    :class:`VClosure`.
+    """
+
+    __slots__ = ("param", "body", "code", "frame_size", "capture_names", "cells")
+
+    def __init__(
+        self,
+        param: str,
+        body: Expr,
+        code,
+        frame_size: int,
+        capture_names: Tuple[str, ...],
+        cells: list,
+    ) -> None:
+        self.param = param
+        self.body = body
+        self.code = code
+        self.frame_size = frame_size
+        self.capture_names = capture_names
+        self.cells = cells
+
+    def __repr__(self) -> str:
+        return (
+            f"VCompiledClosure(param={self.param!r}, "
+            f"captures={self.capture_names!r})"
+        )
+
+
 @dataclass(frozen=True)
 class VDelivered:
     """The delivered-messages function a ``put`` leaves on each process:
@@ -158,8 +201,8 @@ class VParVec:
 
 
 Value = Union[
-    Scalar, VPair, VTuple, VInl, VInr, VNc, VPrim, VClosure, VDelivered,
-    VParVec, VRef,
+    Scalar, VPair, VTuple, VInl, VInr, VNc, VPrim, VClosure,
+    VCompiledClosure, VDelivered, VParVec, VRef,
 ]
 
 #: Singletons.
@@ -201,6 +244,11 @@ def words(value: Value) -> int:
             if name in value.env
         )
         return 1 + value.body.size() + captured
+    if isinstance(value, VCompiledClosure):
+        # The capture list is exactly the free variables a VClosure for
+        # the same program point would weigh, so the two engines charge
+        # identical communication sizes.
+        return 1 + value.body.size() + sum(words(cell) for cell in value.cells)
     if isinstance(value, VDelivered):
         return sum(words(message) for message in value.messages)
     if isinstance(value, VParVec):
@@ -260,6 +308,16 @@ def reify(value: Value, _stack: Optional[set] = None) -> Expr:
         for name in sorted(free_vars(value.body) - {value.param}):
             if name in value.env:
                 body = substitute(body, name, reify(value.env[name], _stack))
+        return Fun(value.param, body)
+    if isinstance(value, VCompiledClosure):
+        if id(value) in _stack:
+            raise EvalError("cannot reify a recursive closure into a finite term")
+        _stack = _stack | {id(value)}
+        body = value.body
+        # capture_names is sorted at compile time, matching the VClosure
+        # branch's iteration order, so both engines reify to one term.
+        for name, cell in zip(value.capture_names, value.cells):
+            body = substitute(body, name, reify(cell, _stack))
         return Fun(value.param, body)
     raise TypeError(f"reify: unknown value {type(value).__name__}")
 

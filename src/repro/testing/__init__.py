@@ -10,9 +10,12 @@ from repro.testing.differential import (
     DifferentialReport,
     assert_chaos_conformance,
     assert_conformance,
+    assert_engine_chaos_conformance,
+    assert_engine_conformance,
     conformance_corpus,
     run_chaos,
     run_differential,
+    run_engines,
 )
 from repro.testing.generators import (
     CORPUS_GLOBAL,
@@ -38,9 +41,12 @@ __all__ = [
     "ProgramGenerator",
     "assert_chaos_conformance",
     "assert_conformance",
+    "assert_engine_chaos_conformance",
+    "assert_engine_conformance",
     "conformance_corpus",
     "run_chaos",
     "run_differential",
+    "run_engines",
     "unsafe_corpus",
     "well_typed_corpus",
 ]

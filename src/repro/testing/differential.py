@@ -43,6 +43,18 @@ bit-identical to the clean reference — and an **unsurvivable** plan must
 fail atomically on every backend with the same
 :class:`~repro.bsp.faults.SuperstepFault` and the machine rolled back to
 its pre-superstep state.
+
+**Engine conformance** (:func:`run_engines`,
+:func:`assert_engine_conformance`, :func:`assert_engine_chaos_conformance`)
+turns the same discipline on the evaluation engines: the tree-walking
+big-step evaluator (the reference semantics) and the closure-compiling
+engine (:mod:`repro.semantics.compiled`) must observe the same value,
+the same full :class:`~repro.bsp.cost.BspCost` decomposition and the
+same abstract trace signature — on every backend, and under armed chaos
+plans.  Values are compared by *fingerprint* (the pretty-printed
+reification) rather than raw ``repr``, because the engines represent
+closures differently (``VClosure`` vs ``VCompiledClosure``) while
+denoting the same function.
 """
 
 from __future__ import annotations
@@ -58,8 +70,13 @@ from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
 from repro.bsml.primitives import Bsml, ParVector
 from repro.lang.ast import Expr
+from repro.lang.limits import deep_recursion
 from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+from repro.semantics.compiled import ENGINES
 from repro.semantics.costed import run_costed
+from repro.semantics.errors import EvalError
+from repro.semantics.values import VClosure, VCompiledClosure, reify
 
 #: Anything the harness can execute.
 Program = Union[str, Expr, Callable[[Bsml], Any]]
@@ -198,12 +215,33 @@ def _observe_error(error: Exception) -> str:
     return f"{type(error).__name__}: {error}"
 
 
+def _value_fingerprint(value: Any) -> str:
+    """An engine-independent observation of a runtime value.
+
+    Ground values fingerprint as their pretty-printed reification, which
+    is structural and identical across engines.  Function values reify to
+    the same source term whichever engine built them (the compiled
+    closure's capture list is exactly the free variables a tree closure
+    would substitute).  Values that cannot reify into a finite term —
+    recursive closures, mutable references — normalize to a kind tag, the
+    same tag for both engines' closure representations.
+    """
+    try:
+        with deep_recursion():
+            return pretty(reify(value))
+    except (EvalError, TypeError, RecursionError):
+        if isinstance(value, (VClosure, VCompiledClosure)):
+            return "<unreifiable closure>"
+        return f"<unreifiable {type(value).__name__}>"
+
+
 def run_differential(
     program: Program,
     params: Optional[BspParams] = None,
     backends: Sequence[str] = BACKENDS,
     use_prelude: Optional[bool] = None,
     check_trace: bool = False,
+    engine: str = "tree",
 ) -> DifferentialReport:
     """Run ``program`` under every backend and collect the observations.
 
@@ -229,12 +267,20 @@ def run_differential(
                 if check_trace:
                     with obs.trace() as collected:
                         result = run_costed(
-                            expr, params, use_prelude=prelude, backend=backend
+                            expr,
+                            params,
+                            use_prelude=prelude,
+                            backend=backend,
+                            engine=engine,
                         )
                     signature = collected.abstract_signature()
                 else:
                     result = run_costed(
-                        expr, params, use_prelude=prelude, backend=backend
+                        expr,
+                        params,
+                        use_prelude=prelude,
+                        backend=backend,
+                        engine=engine,
                     )
             except Exception as error:
                 report.runs.append(BackendRun(backend, error=_observe_error(error)))
@@ -283,6 +329,7 @@ def assert_conformance(
     use_prelude: Optional[bool] = None,
     require_success: bool = False,
     check_trace: bool = False,
+    engine: str = "tree",
 ) -> DifferentialReport:
     """Run differentially and raise :class:`AssertionError` on divergence.
 
@@ -291,7 +338,101 @@ def assert_conformance(
     ``check_trace`` the abstract trace signatures must also agree.
     Returns the report so callers can make further assertions.
     """
-    report = run_differential(program, params, backends, use_prelude, check_trace)
+    report = run_differential(
+        program, params, backends, use_prelude, check_trace, engine
+    )
+    if not report.conforms:
+        raise AssertionError(report.explain())
+    if require_success and not report.succeeded:
+        raise AssertionError(report.explain())
+    return report
+
+
+# -- engine conformance -------------------------------------------------------
+
+
+def run_engines(
+    program: Union[str, Expr],
+    params: Optional[BspParams] = None,
+    engines: Sequence[str] = ENGINES,
+    backends: Sequence[str] = BACKENDS,
+    use_prelude: Optional[bool] = None,
+    check_trace: bool = False,
+) -> DifferentialReport:
+    """Run ``program`` under every ``engine × backend`` combination.
+
+    The report's runs are named ``engine/backend``; the first combination
+    (by convention ``tree/seq`` — the reference semantics on the
+    reference backend) is what every other combination is compared
+    against.  Values are observed by :func:`_value_fingerprint`, so
+    function results compare by their reified source term rather than by
+    engine-specific closure ``repr``.  With ``check_trace`` the abstract
+    trace signatures must agree across every combination too.
+
+    Only mini-BSML programs (source text or AST) make sense here —
+    BSMLlib callables never touch the evaluator, so there is nothing for
+    an engine sweep to vary.
+    """
+    if not isinstance(program, (str, Expr)):
+        raise TypeError(
+            "check_engines needs a mini-BSML program (source text or AST); "
+            "a BSMLlib callable never runs through an evaluation engine"
+        )
+    params = params or BspParams(p=4)
+    expr = parse_program(program) if isinstance(program, str) else program
+    prelude = use_prelude if use_prelude is not None else isinstance(program, str)
+    report = DifferentialReport(_describe(program))
+    for engine in engines:
+        for backend in backends:
+            name = f"{engine}/{backend}"
+            signature = None
+            try:
+                if check_trace:
+                    with obs.trace() as collected:
+                        result = run_costed(
+                            expr,
+                            params,
+                            use_prelude=prelude,
+                            backend=backend,
+                            engine=engine,
+                        )
+                    signature = collected.abstract_signature()
+                else:
+                    result = run_costed(
+                        expr,
+                        params,
+                        use_prelude=prelude,
+                        backend=backend,
+                        engine=engine,
+                    )
+            except Exception as error:
+                report.runs.append(BackendRun(name, error=_observe_error(error)))
+                continue
+            report.runs.append(
+                BackendRun(
+                    name,
+                    value_repr=_value_fingerprint(result.value),
+                    value=result.value,
+                    cost=result.cost,
+                    trace_signature=signature,
+                )
+            )
+    return report
+
+
+def assert_engine_conformance(
+    program: Union[str, Expr],
+    params: Optional[BspParams] = None,
+    engines: Sequence[str] = ENGINES,
+    backends: Sequence[str] = BACKENDS,
+    use_prelude: Optional[bool] = None,
+    require_success: bool = False,
+    check_trace: bool = False,
+) -> DifferentialReport:
+    """Run the engine × backend sweep and raise on any divergence."""
+    report = run_engines(
+        program, params, engines, backends, use_prelude, check_trace
+    )
     if not report.conforms:
         raise AssertionError(report.explain())
     if require_success and not report.succeeded:
@@ -427,9 +568,17 @@ def _chaos_observe(
     policy: Optional[RetryPolicy],
     use_prelude: Optional[bool],
     check_trace: bool = False,
+    engine: str = "tree",
+    value_key: Callable[[Any], str] = repr,
 ):
     """Run once; return ``(value_repr, cost, error, faulted, restored,
-    trace_signature)``."""
+    trace_signature)``.
+
+    ``value_key`` projects the resulting value to its compared-by string
+    (``repr`` for the backend sweep, :func:`_value_fingerprint` for the
+    cross-engine one); it only applies to evaluator-built values, BSMLlib
+    results keep their ``repr``.
+    """
     collected: Optional[obs.Trace] = obs.start() if check_trace else None
 
     def signature():
@@ -452,6 +601,7 @@ def _chaos_observe(
                     backend=backend,
                     faults=plan,
                     retry=policy,
+                    engine=engine,
                 )
             except SuperstepFault as fault:
                 return (
@@ -464,7 +614,14 @@ def _chaos_observe(
                 )
             except Exception as error:
                 return None, None, _observe_error(error), False, None, signature()
-            return repr(result.value), result.cost, None, False, None, signature()
+            return (
+                value_key(result.value),
+                result.cost,
+                None,
+                False,
+                None,
+                signature(),
+            )
         machine = BspMachine(
             params, executor=get_executor(backend), faults=plan, retry=policy
         )
@@ -496,6 +653,8 @@ def run_chaos(
     backends: Sequence[str] = BACKENDS,
     use_prelude: Optional[bool] = None,
     check_trace: bool = False,
+    engine: str = "tree",
+    value_key: Callable[[Any], str] = repr,
 ) -> ChaosReport:
     """Run ``program`` cleanly once, then under the seeded fault plan on
     every backend, and collect the observations.
@@ -511,7 +670,8 @@ def run_chaos(
     params = params or BspParams(p=4)
     rates = dict(DEFAULT_CHAOS_RATES if rates is None else rates)
     value_repr, cost, error, _, _, _ = _chaos_observe(
-        program, params, "seq", None, None, use_prelude
+        program, params, "seq", None, None, use_prelude,
+        engine=engine, value_key=value_key,
     )
     reference = BackendRun(
         "seq (clean)", value_repr=value_repr, cost=cost, error=error
@@ -520,7 +680,8 @@ def run_chaos(
     for backend in backends:
         plan = FaultPlan(seed=seed, **rates)
         value_repr, cost, error, faulted, restored, signature = _chaos_observe(
-            program, params, backend, plan, policy, use_prelude, check_trace
+            program, params, backend, plan, policy, use_prelude, check_trace,
+            engine=engine, value_key=value_key,
         )
         report.runs.append(
             ChaosRun(
@@ -545,15 +706,98 @@ def assert_chaos_conformance(
     backends: Sequence[str] = BACKENDS,
     use_prelude: Optional[bool] = None,
     check_trace: bool = False,
+    engine: str = "tree",
 ) -> ChaosReport:
     """Run :func:`run_chaos` and raise :class:`AssertionError` unless the
     chaos verdict holds.  Returns the report for further assertions."""
     report = run_chaos(
-        program, params, seed, rates, policy, backends, use_prelude, check_trace
+        program,
+        params,
+        seed,
+        rates,
+        policy,
+        backends,
+        use_prelude,
+        check_trace,
+        engine,
     )
     if not report.conforms:
         raise AssertionError(report.explain())
     return report
+
+
+def assert_engine_chaos_conformance(
+    program: Union[str, Expr],
+    params: Optional[BspParams] = None,
+    seed: int = 0,
+    rates: Optional[Dict[str, float]] = None,
+    policy: Optional[RetryPolicy] = DEFAULT_CHAOS_POLICY,
+    backends: Sequence[str] = BACKENDS,
+    use_prelude: Optional[bool] = None,
+    check_trace: bool = False,
+    engines: Sequence[str] = ENGINES,
+) -> List[ChaosReport]:
+    """Chaos conformance across engines: the same seeded fault plan must
+    be observationally identical whichever engine evaluates the program.
+
+    Runs the full chaos sweep once per engine (each must conform on its
+    own), then cross-compares the per-backend observations between
+    engines: error, value fingerprint, ``BspCost`` and (with
+    ``check_trace``) the abstract trace signature must match pairwise —
+    the fault draws are machine-side and in program order, so an armed
+    plan replays the identical schedule under either engine.  Returns
+    the per-engine reports.
+    """
+    if not isinstance(program, (str, Expr)):
+        raise TypeError(
+            "check_engines needs a mini-BSML program (source text or AST); "
+            "a BSMLlib callable never runs through an evaluation engine"
+        )
+    reports: List[ChaosReport] = []
+    for engine in engines:
+        report = run_chaos(
+            program,
+            params,
+            seed,
+            rates,
+            policy,
+            backends,
+            use_prelude,
+            check_trace,
+            engine,
+            value_key=_value_fingerprint,
+        )
+        if not report.conforms:
+            raise AssertionError(f"[engine {engine}] " + report.explain())
+        reports.append(report)
+    first = reports[0]
+    for engine, report in zip(engines[1:], reports[1:]):
+        if (first.reference.error, first.reference.value_repr) != (
+            report.reference.error,
+            report.reference.value_repr,
+        ):
+            raise AssertionError(
+                f"clean reference diverges between engines "
+                f"{engines[0]} and {engine}:\n"
+                + first.explain()
+                + "\n"
+                + report.explain()
+            )
+        for left, right in zip(first.runs, report.runs):
+            if (
+                left.error != right.error
+                or left.value_repr != right.value_repr
+                or left.cost != right.cost
+                or left.trace_signature != right.trace_signature
+            ):
+                raise AssertionError(
+                    f"chaos observation diverges between engines "
+                    f"{engines[0]} and {engine} on backend {left.backend}:\n"
+                    + first.explain()
+                    + "\n"
+                    + report.explain()
+                )
+    return reports
 
 
 def conformance_corpus() -> List[Tuple[str, str]]:

@@ -28,6 +28,11 @@ def _boom_task():
     raise RuntimeError("boom")
 
 
+def _pick_task(items, i):
+    """Module-level partial target sharing ``items`` across tasks."""
+    return items[i], 1.0
+
+
 def _tasks(p):
     return [partial(_square_task, i) for i in range(p)]
 
@@ -116,6 +121,30 @@ class TestProcess:
         assert outcomes[0].value == ("ran here", 1.0)
         assert witness == [True]  # side effect landed in this process
         assert stats.counter("bsp.backend.process.inline") == 1
+
+    def test_shared_task_parts_are_pickled_once(self):
+        # The tasks of one phase share their function and one big
+        # argument (the evaluator's closure environment, here a tuple);
+        # each shared object must be pickled once and its blob reused.
+        executor = get_executor("process")
+        shared = tuple(range(100))
+        tasks = [partial(_pick_task, shared, i) for i in range(4)]
+        with perf.collect() as stats:
+            outcomes = executor.run(tasks)
+        assert [outcome.value[0] for outcome in outcomes] == [0, 1, 2, 3]
+        assert stats.counter("bsp.backend.process.inline") == 0
+        # 6 misses: _pick_task, shared, and the four distinct indices;
+        # 6 hits: _pick_task and shared reused by tasks 1..3.
+        assert stats.counter("bsp.backend.process.pickle_cache_miss") == 6
+        assert stats.counter("bsp.backend.process.pickle_cache_hit") == 6
+
+    def test_part_pickling_preserves_errors(self):
+        executor = get_executor("process")
+        outcomes = executor.run(
+            [partial(_pick_task, (1, 2), 0), partial(_pick_task, (1, 2), 9)]
+        )
+        assert outcomes[0].error is None
+        assert isinstance(outcomes[1].error, IndexError)
 
 
 class TestRegistry:

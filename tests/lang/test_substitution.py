@@ -49,6 +49,41 @@ class TestFreeVars:
         assert free_vars(parse("if a at b then c else d")) == {"a", "b", "c", "d"}
 
 
+class TestFreeVarsMemo:
+    def test_repeated_calls_hit_the_cache(self):
+        from repro import perf
+
+        expr = parse("fun x -> x + y")
+        with perf.collect() as stats:
+            first = free_vars(expr)
+            second = free_vars(expr)
+            third = free_vars(expr)
+        assert first is second is third  # the cached frozenset itself
+        assert first == {"y"}
+        assert stats.counter("lang.free_vars.hit") >= 2
+        misses = stats.counter("lang.free_vars.miss")
+        assert 0 < misses <= expr.size()
+
+    def test_subterms_are_cached_by_the_outer_walk(self):
+        from repro import perf
+
+        expr = parse("(fun x -> x + y) (y + z)")
+        free_vars(expr)  # populates every node's cache
+        with perf.collect() as stats:
+            assert free_vars(expr.fn) == {"y"}
+            assert free_vars(expr.arg) == {"y", "z"}
+        assert stats.counter("lang.free_vars.miss") == 0
+        assert stats.counter("lang.free_vars.hit") == 2
+
+    def test_substitution_results_are_fresh_nodes(self):
+        # substitute() builds new nodes on the rewritten spine, so their
+        # (uncached) free-variable sets are computed correctly.
+        expr = parse("x + y")
+        rewritten = substitute(expr, "x", Const(1))
+        assert free_vars(rewritten) == {"y"}
+        assert free_vars(expr) == {"x", "y"}
+
+
 class TestSubstitute:
     def test_variable_hit(self):
         assert substitute(Var("x"), "x", Const(1)) == Const(1)
