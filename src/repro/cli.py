@@ -332,6 +332,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repl.set_defaults(handler=_command_repl)
 
+    serve = commands.add_parser(
+        "serve",
+        help="start the typecheck-and-run HTTP service "
+        "(POST /v1/run, /v1/typecheck, incremental /v1/session/*)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8100, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument("-p", type=int, default=4, help="default number of processes")
+    serve.add_argument("-g", type=float, default=1.0, help="default BSP g parameter")
+    serve.add_argument("-l", type=float, default=20.0, help="default BSP l parameter")
+    serve.add_argument(
+        "--backend",
+        choices=("seq", "thread", "process"),
+        default="seq",
+        help="default execution backend (requests may override)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("tree", "compiled"),
+        default="tree",
+        help="default evaluation engine (requests may override)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        help="requests computing at once; excess requests queue",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="queued requests beyond which the server answers 429",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="entries in the digest-keyed response cache",
+    )
+    serve.set_defaults(handler=_command_serve)
+
     return parser
 
 
@@ -348,6 +392,44 @@ def _command_repl(args: argparse.Namespace) -> int:
         trace_format=args.trace_format,
         engine=args.engine,
     )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ReproServer, ServiceConfig, ServiceCore
+
+    config = ServiceConfig(
+        p=args.p,
+        g=args.g,
+        l=args.l,
+        backend=args.backend,
+        engine=args.engine,
+        cache_capacity=args.cache_capacity,
+    )
+    server = ReproServer(
+        ServiceCore(config),
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+    )
+
+    async def serve() -> None:
+        await server.start()
+        print(
+            f"serving mini-BSML on http://{server.host}:{server.port} "
+            f"(p={config.p}, backend={config.backend}, engine={config.engine}, "
+            f"max-concurrency={server.max_concurrency})",
+            file=sys.stderr,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -378,6 +460,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except OSError as error:
+        # Missing source files, unwritable --trace targets, ports in use:
+        # environment problems, reported like usage errors (exit 2).
+        print(f"io error: {error}", file=sys.stderr)
+        return 2
+    except RecursionError:
+        print(
+            "error: program exceeds the recursion depth the toolchain "
+            "supports (deeper than the raised interpreter limit)",
+            file=sys.stderr,
+        )
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -29,20 +29,29 @@ Performance layer (see DESIGN.md): constraint nodes are **hash-consed**
 with the same metaclass as types, so equality is pointer-fast and the
 conjunction sets of :func:`conj` dedupe by identity.  On top of that,
 :func:`solve`, :func:`is_satisfiable`, :func:`is_valid`,
-:func:`locality` and :func:`basic_constraint` are memoized in bounded LRU
-caches keyed on interned nodes — all nodes are immutable, so the caches
-need no invalidation, ever.  The caches register themselves with
-:mod:`repro.perf` for hit-rate reporting (``--stats``).
+:func:`locality` and :func:`basic_constraint` are memoized in bounded,
+eviction-counting LRU caches (:class:`repro.perf.memo.BoundedMemo`)
+keyed on interned nodes — all nodes are immutable, so the caches need no
+invalidation, ever, and *eviction* is the only way an entry leaves.
+Bounding matters beyond memory for the caches themselves: cache entries
+hold strong references to the interned key nodes, so a bounded cache is
+also what keeps the weak hash-cons pools from growing without bound over
+a server lifetime.  The caches register themselves with
+:mod:`repro.perf` for hit-rate and eviction reporting (``--stats``), and
+the bound is runtime-resizable (``REPRO_SOLVER_CACHE_SIZE`` or
+:func:`repro.perf.resize_registered`) so the service can size them to
+its memory budget.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Tuple
 
 from repro import obs, perf
+from repro.perf.memo import bounded_memo
 from repro.core.types import (
     TArrow,
     TBase,
@@ -56,8 +65,10 @@ from repro.core.types import (
     _InternMeta,
 )
 
-#: Bound on each solver-layer memoization cache (entries, not bytes).
-SOLVER_CACHE_SIZE = 65536
+#: Default bound on each solver-layer memoization cache (entries, not
+#: bytes); override with ``REPRO_SOLVER_CACHE_SIZE`` before import, or
+#: resize the registered caches at runtime (``perf.resize_registered``).
+SOLVER_CACHE_SIZE = int(os.environ.get("REPRO_SOLVER_CACHE_SIZE", "65536"))
 
 
 @dataclass(frozen=True, eq=False)
@@ -164,7 +175,7 @@ def imp(antecedent: Constraint, consequent: Constraint) -> Constraint:
 # -- locality of a type ---------------------------------------------------
 
 
-@lru_cache(maxsize=SOLVER_CACHE_SIZE)
+@bounded_memo(SOLVER_CACHE_SIZE, name="constraints.locality")
 def locality(ty: Type) -> Constraint:
     """The paper's ``L(tau)`` as a constraint over the variables of ``tau``.
 
@@ -198,7 +209,7 @@ def locality(ty: Type) -> Constraint:
     raise TypeError(f"locality: unknown type node {type(ty).__name__}")
 
 
-@lru_cache(maxsize=SOLVER_CACHE_SIZE)
+@bounded_memo(SOLVER_CACHE_SIZE, name="constraints.basic_constraint")
 def basic_constraint(ty: Type) -> Constraint:
     """The paper's basic constraints ``C_tau``.  Memoized like :func:`locality`.
 
@@ -414,7 +425,7 @@ def is_satisfiable_branching(constraint: Constraint) -> bool:
     ) or is_satisfiable_branching(assign(constraint, atom, False))
 
 
-@lru_cache(maxsize=SOLVER_CACHE_SIZE)
+@bounded_memo(SOLVER_CACHE_SIZE, name="constraints.is_satisfiable")
 def is_satisfiable(constraint: Constraint) -> bool:
     """True when some locality assignment of the atoms makes ``C`` hold.
 
@@ -456,7 +467,7 @@ def is_unsatisfiable(constraint: Constraint) -> bool:
     return unsat
 
 
-@lru_cache(maxsize=SOLVER_CACHE_SIZE)
+@bounded_memo(SOLVER_CACHE_SIZE, name="constraints.is_valid")
 def is_valid(constraint: Constraint) -> bool:
     """True when every locality assignment satisfies ``C``.  Memoized."""
     constraint = simplify(constraint)
@@ -470,7 +481,7 @@ def is_valid(constraint: Constraint) -> bool:
     )
 
 
-@lru_cache(maxsize=SOLVER_CACHE_SIZE)
+@bounded_memo(SOLVER_CACHE_SIZE, name="constraints.solve")
 def solve(constraint: Constraint) -> Constraint:
     """The paper's ``Solve``: reduce ``C`` as far as the boolean laws allow.
 

@@ -32,6 +32,12 @@ from typing import Dict, FrozenSet, Iterator, Tuple
 from weakref import WeakValueDictionary
 
 
+#: Every class carrying a hash-cons pool, in definition order — the type
+#: nodes below and the constraint nodes of :mod:`repro.core.constraints`.
+#: :func:`intern_pool_stats` reports their live sizes.
+_INTERNED_CLASSES: list = []
+
+
 class _InternMeta(type):
     """Hash-consing metaclass: structurally equal nodes are one object.
 
@@ -44,6 +50,7 @@ class _InternMeta(type):
     def __new__(mcls, name, bases, namespace):
         cls = super().__new__(mcls, name, bases, namespace)
         cls._intern_pool = WeakValueDictionary()
+        _INTERNED_CLASSES.append(cls)
         return cls
 
     def __call__(cls, *args, **kwargs):
@@ -162,6 +169,19 @@ class TPar(Type):
 
     def children(self) -> Tuple[Type, ...]:
         return (self.content,)
+
+
+def intern_pool_stats() -> Dict[str, int]:
+    """Live-entry counts of every hash-cons pool, keyed by class name.
+
+    Covers every :class:`_InternMeta` class — the type nodes here and
+    the constraint nodes of :mod:`repro.core.constraints`.  The pools
+    hold entries weakly, so a count is the number of *live* nodes; the
+    bounded solver caches (see :mod:`repro.perf.memo`) are what keeps
+    these counts bounded over a server lifetime, and the service's
+    ``/v1/stats`` endpoint reports them.
+    """
+    return {cls.__name__: len(cls._intern_pool) for cls in _INTERNED_CLASSES}
 
 
 #: The base types of mini-BSML.

@@ -10,22 +10,43 @@ duration of the call (never lowers it, and restores it afterwards).
 from __future__ import annotations
 
 import sys
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
 #: Frame budget granted to recursive passes over user programs.
 RECURSION_LIMIT = 100_000
 
+# The recursion limit is process-global, so concurrent entries (the
+# service runs inferences on several threads) must coordinate: the first
+# entry raises the limit, the last exit restores it.  Without the
+# counter, one thread's exit would drop the limit out from under another
+# thread still mid-inference.
+_lock = threading.Lock()
+_active = 0
+_saved_limit = 0
+
 
 @contextmanager
 def deep_recursion(limit: int = RECURSION_LIMIT) -> Iterator[None]:
-    """Temporarily ensure at least ``limit`` frames of recursion."""
-    previous = sys.getrecursionlimit()
-    if previous >= limit:
-        yield
-        return
-    sys.setrecursionlimit(limit)
+    """Temporarily ensure at least ``limit`` frames of recursion.
+
+    Re-entrant and thread-safe: nested/concurrent uses share one raised
+    limit, restored when the outermost/last user exits.
+    """
+    global _active, _saved_limit
+    with _lock:
+        current = sys.getrecursionlimit()
+        if current < limit:
+            if _active == 0:
+                _saved_limit = current
+            sys.setrecursionlimit(limit)
+        _active += 1
     try:
         yield
     finally:
-        sys.setrecursionlimit(previous)
+        with _lock:
+            _active -= 1
+            if _active == 0 and _saved_limit:
+                sys.setrecursionlimit(_saved_limit)
+                _saved_limit = 0

@@ -226,6 +226,11 @@ def summarize(trace: Trace) -> str:
         f"on {len(trace.tracks())} tracks"
     ]
     rows = histograms(trace)
+    if not rows and trace.records:
+        # Span-free traces happen (a window that only saw instant events,
+        # e.g. superstep commits from an aborted run); say so explicitly
+        # instead of silently omitting the latency table.
+        lines.append("  spans: (none recorded)")
     if rows:
         lines.append("  span latencies (ms):")
         lines.append(
@@ -253,9 +258,18 @@ def summarize(trace: Trace) -> str:
             f"    {'step':>4} {'max w':>10} {'h':>8} {'measured ms':>12}  label"
         )
         for row in steps:
+            # Commit events recorded by hand (or from a crashed machine)
+            # may miss cost args; render a dash rather than crash the
+            # whole report on one malformed event.
+            step = row["superstep"] if row["superstep"] is not None else "-"
+            w_max = row["w_max"]
+            w_text = (
+                f"{w_max:>10.1f}" if isinstance(w_max, (int, float)) else f"{'-':>10}"
+            )
+            h = row["h"] if row["h"] is not None else "-"
             lines.append(
-                f"    {row['superstep']:>4} {row['w_max']:>10.1f} "
-                f"{row['h']:>8} {row['measured_s'] * 1e3:>12.3f}  {row['label']}"
+                f"    {step:>4} {w_text} "
+                f"{h:>8} {row['measured_s'] * 1e3:>12.3f}  {row['label']}"
             )
     if len(lines) == 1:
         lines.append("  (nothing recorded)")

@@ -18,10 +18,15 @@ timestamp) — laid out on named **tracks**:
 
 Collection follows the exact opt-in, stack-shaped discipline of
 :mod:`repro.perf.counters`: :func:`trace` pushes a :class:`Trace` onto a
-module-level stack, every instrumentation point guards itself with
-:func:`is_tracing` (one truthiness test when disabled — cheap enough for
-hot loops to call unconditionally), and finished records are appended to
-*all* active collectors, so nested scopes each see their own copy.
+**context-local** stack (a :class:`contextvars.ContextVar`), every
+instrumentation point guards itself with :func:`is_tracing` (one
+truthiness test when disabled — cheap enough for hot loops to call
+unconditionally), and finished records are appended to *all* active
+collectors, so nested scopes each see their own copy.  Context-locality
+keeps concurrent requests of the long-running service from interleaving
+their spans into each other's traces: a trace window opened on one
+thread (or asyncio task) collects only that thread of control's records,
+while single-threaded use behaves exactly like the old module stack.
 
 Timestamps are ``time.perf_counter()`` values — monotonic, and on this
 platform system-wide, so worker-measured task timings and
@@ -46,6 +51,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -170,13 +176,27 @@ class Trace:
         return tuple(entry for entry in projected if entry is not None)
 
 
-#: Stack of active collectors (usually empty or a single entry).
-_ACTIVE: List[Trace] = []
+#: Context-local stack of active collectors (usually empty or a single
+#: entry).  An immutable tuple, so pushes/pops are plain set() calls and
+#: concurrent contexts never observe a half-mutated stack.
+_ACTIVE: ContextVar[Tuple[Trace, ...]] = ContextVar(
+    "repro_obs_active", default=()
+)
+
+
+def _push(collector: Trace) -> None:
+    _ACTIVE.set(_ACTIVE.get() + (collector,))
+
+
+def _pop(collector: Trace) -> None:
+    active = _ACTIVE.get()
+    if collector in active:
+        _ACTIVE.set(tuple(entry for entry in active if entry is not collector))
 
 
 def is_tracing() -> bool:
-    """True when at least one trace collector is active."""
-    return bool(_ACTIVE)
+    """True when at least one trace collector is active in this context."""
+    return bool(_ACTIVE.get())
 
 
 def record(
@@ -187,16 +207,17 @@ def record(
     **args: Any,
 ) -> None:
     """Append a finished record to every active collector."""
-    if not _ACTIVE:
+    active = _ACTIVE.get()
+    if not active:
         return
     entry = TraceRecord(name, track, ts, dur, tuple(sorted(args.items())))
-    for trace_ in _ACTIVE:
+    for trace_ in active:
         trace_.records.append(entry)
 
 
 def event(name: str, track: str, **args: Any) -> None:
     """Record an instant event at the current time (no-op when inactive)."""
-    if not _ACTIVE:
+    if not _ACTIVE.get():
         return
     record(name, track, time.perf_counter(), None, **args)
 
@@ -216,7 +237,7 @@ def span(name: str, track: str, **args: Any) -> Iterator[Optional[Dict[str, Any]
     The span is recorded even when the block raises — a failed phase is
     exactly what a chaos trace needs to show.
     """
-    if not _ACTIVE:
+    if not _ACTIVE.get():
         yield None
         return
     extra: Dict[str, Any] = {}
@@ -231,28 +252,29 @@ def span(name: str, track: str, **args: Any) -> Iterator[Optional[Dict[str, Any]
 def trace() -> Iterator[Trace]:
     """Collect trace records for the enclosed block."""
     collector = Trace()
-    _ACTIVE.append(collector)
+    _push(collector)
     try:
         yield collector
     finally:
-        _ACTIVE.remove(collector)
+        _pop(collector)
 
 
 def start() -> Trace:
     """Begin an open-ended collection window (REPL sessions).
 
     The returned trace accumulates until :func:`stop` is called; it may
-    be exported live at any point.
+    be exported live at any point.  The window is bound to the calling
+    context: code running on other threads or tasks does not report
+    into it.
     """
     collector = Trace()
-    _ACTIVE.append(collector)
+    _push(collector)
     return collector
 
 
 def stop(collector: Trace) -> Trace:
     """End a window opened with :func:`start` (idempotent)."""
-    if collector in _ACTIVE:
-        _ACTIVE.remove(collector)
+    _pop(collector)
     return collector
 
 
@@ -262,6 +284,6 @@ def resume(collector: Trace) -> Trace:
     New records append after the ones already collected (the REPL's
     ``:trace on`` after ``:trace off``); idempotent when already active.
     """
-    if collector not in _ACTIVE:
-        _ACTIVE.append(collector)
+    if collector not in _ACTIVE.get():
+        _push(collector)
     return collector

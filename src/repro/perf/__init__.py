@@ -23,17 +23,25 @@ from repro.perf.counters import (
     stop,
     timed,
 )
+from repro.perf.memo import (
+    BoundedMemo,
+    bounded_memo,
+    resize_registered,
+)
 
 __all__ = [
+    "BoundedMemo",
     "CacheReport",
     "PerfStats",
     "add_time",
+    "bounded_memo",
     "clear_caches",
     "collect",
     "increment",
     "is_collecting",
     "register_cache",
     "registered_caches",
+    "resize_registered",
     "start",
     "stop",
     "timed",

@@ -14,10 +14,18 @@ observability surface:
   *deltas*, so nested or repeated collections stay accurate.
 
 Collection is opt-in and stack-shaped: :func:`collect` pushes a
-:class:`PerfStats` onto a module-level stack, every instrumentation point
-checks the stack (one truthiness test when disabled — cheap enough for
-hot loops to call unconditionally), and increments apply to *all* active
-collectors so nested scopes each see their own totals.
+:class:`PerfStats` onto a **context-local** stack (a
+:class:`contextvars.ContextVar`), every instrumentation point checks the
+stack (one truthiness test when disabled — cheap enough for hot loops to
+call unconditionally), and increments apply to *all* active collectors
+so nested scopes each see their own totals.
+
+Context-locality is what makes the stack safe under concurrency: two
+requests served on different threads (or asyncio tasks) of the
+long-running service each see only their own collectors, where a
+module-global list would interleave every request's counters into every
+window.  Within one thread of control the behaviour is identical to the
+old module-level stack.
 
 The design is invalidation-free by construction: every cached function is
 keyed on hash-consed immutable nodes (see :mod:`repro.core.types` and
@@ -29,14 +37,19 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 #: Registry of memoized functions: name -> lru_cache-wrapped callable.
 _REGISTERED_CACHES: Dict[str, Callable[..., Any]] = {}
 
-#: Stack of active collectors (usually empty or a single entry).
-_ACTIVE: List["PerfStats"] = []
+#: Context-local stack of active collectors (usually empty or a single
+#: entry).  Stored as an immutable tuple so pushes/pops are plain set()
+#: calls and concurrent contexts can never observe a half-mutated stack.
+_ACTIVE: ContextVar[Tuple["PerfStats", ...]] = ContextVar(
+    "repro_perf_active", default=()
+)
 
 
 def register_cache(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
@@ -66,30 +79,32 @@ def clear_caches() -> None:
 
 
 def is_collecting() -> bool:
-    """True when at least one collector is active."""
-    return bool(_ACTIVE)
+    """True when at least one collector is active in this context."""
+    return bool(_ACTIVE.get())
 
 
 def increment(name: str, by: float = 1) -> None:
     """Add ``by`` to counter ``name`` on every active collector."""
-    if not _ACTIVE:
+    active = _ACTIVE.get()
+    if not active:
         return
-    for stats in _ACTIVE:
+    for stats in active:
         stats.counters[name] = stats.counters.get(name, 0) + by
 
 
 def add_time(name: str, seconds: float) -> None:
     """Accumulate ``seconds`` under timer ``name`` on active collectors."""
-    if not _ACTIVE:
+    active = _ACTIVE.get()
+    if not active:
         return
-    for stats in _ACTIVE:
+    for stats in active:
         stats.timers[name] = stats.timers.get(name, 0.0) + seconds
 
 
 @contextmanager
 def timed(name: str) -> Iterator[None]:
     """Time the enclosed block into timer ``name`` (no-op when inactive)."""
-    if not _ACTIVE:
+    if not _ACTIVE.get():
         yield
         return
     start = time.perf_counter()
@@ -101,13 +116,20 @@ def timed(name: str) -> Iterator[None]:
 
 @dataclass
 class CacheReport:
-    """Hit/miss delta of one registered cache over a collection window."""
+    """Hit/miss/eviction delta of one registered cache over a window.
+
+    ``evictions`` is nonzero only for caches that expose an eviction
+    count (:class:`repro.perf.memo.BoundedMemo`); plain ``lru_cache``
+    functions report 0 — their evictions are invisible to the stdlib
+    bookkeeping.
+    """
 
     name: str
     hits: int
     misses: int
     size: int
     maxsize: int
+    evictions: int = 0
 
     @property
     def calls(self) -> int:
@@ -125,20 +147,26 @@ class PerfStats:
 
     counters: Dict[str, float] = field(default_factory=dict)
     timers: Dict[str, float] = field(default_factory=dict)
-    _cache_baseline: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    _cache_baseline: Dict[str, Tuple[int, int, int]] = field(default_factory=dict)
 
     def snapshot_caches(self) -> None:
-        """Record the current hit/miss totals as this window's baseline."""
+        """Record the current hit/miss/eviction totals as the baseline."""
         for name, fn in _REGISTERED_CACHES.items():
             info = fn.cache_info()
-            self._cache_baseline[name] = (info.hits, info.misses)
+            self._cache_baseline[name] = (
+                info.hits,
+                info.misses,
+                getattr(fn, "evictions", 0),
+            )
 
     def cache_reports(self) -> List[CacheReport]:
-        """Per-cache hit/miss deltas since :meth:`snapshot_caches`."""
+        """Per-cache hit/miss/eviction deltas since :meth:`snapshot_caches`."""
         reports = []
         for name, fn in sorted(_REGISTERED_CACHES.items()):
             info = fn.cache_info()
-            base_hits, base_misses = self._cache_baseline.get(name, (0, 0))
+            base_hits, base_misses, base_evict = self._cache_baseline.get(
+                name, (0, 0, 0)
+            )
             reports.append(
                 CacheReport(
                     name,
@@ -146,6 +174,7 @@ class PerfStats:
                     info.misses - base_misses,
                     info.currsize,
                     info.maxsize or 0,
+                    getattr(fn, "evictions", 0) - base_evict,
                 )
             )
         return reports
@@ -181,9 +210,11 @@ class PerfStats:
         if reports:
             lines.append("  caches (hits/misses, hit rate):")
             for report in reports:
+                evicted = f", {report.evictions} evicted" if report.evictions else ""
                 lines.append(
                     f"    {report.name:<28} {report.hits:>8}/{report.misses:<8}"
-                    f" {report.hit_rate:>6.1%}  (size {report.size}/{report.maxsize})"
+                    f" {report.hit_rate:>6.1%}  (size {report.size}/{report.maxsize}"
+                    f"{evicted})"
                 )
         if self.timers:
             lines.append("  timers:")
@@ -194,16 +225,26 @@ class PerfStats:
         return "\n".join(lines)
 
 
+def _push(stats: "PerfStats") -> None:
+    _ACTIVE.set(_ACTIVE.get() + (stats,))
+
+
+def _pop(stats: "PerfStats") -> None:
+    active = _ACTIVE.get()
+    if stats in active:
+        _ACTIVE.set(tuple(entry for entry in active if entry is not stats))
+
+
 @contextmanager
 def collect() -> Iterator[PerfStats]:
     """Collect counters, timers and cache deltas for the enclosed block."""
     stats = PerfStats()
     stats.snapshot_caches()
-    _ACTIVE.append(stats)
+    _push(stats)
     try:
         yield stats
     finally:
-        _ACTIVE.remove(stats)
+        _pop(stats)
 
 
 def start() -> PerfStats:
@@ -211,15 +252,16 @@ def start() -> PerfStats:
 
     The returned stats object accumulates until :func:`stop` is called;
     its :meth:`PerfStats.render` may be consulted live at any point.
+    The window is bound to the calling context: code running on other
+    threads or tasks does not report into it.
     """
     stats = PerfStats()
     stats.snapshot_caches()
-    _ACTIVE.append(stats)
+    _push(stats)
     return stats
 
 
 def stop(stats: PerfStats) -> PerfStats:
     """End a window opened with :func:`start` (idempotent)."""
-    if stats in _ACTIVE:
-        _ACTIVE.remove(stats)
+    _pop(stats)
     return stats

@@ -1,0 +1,33 @@
+"""The typecheck-and-run service: mini-BSML over HTTP.
+
+A long-running stdlib-only HTTP/1.1 server (no dependencies beyond
+:mod:`asyncio`) that accepts mini-BSML programs and answers with their
+inferred type, locality constraints, value and BSP cost::
+
+    $ minibsml serve --port 8100 &
+    $ curl -s -d '{"program": "bcast 2 (mkpar (fun i -> i * i))", "p": 4}' \\
+          http://127.0.0.1:8100/v1/run | python -m json.tool
+
+Layout:
+
+* :mod:`repro.service.cache` — sharded LRU over serialized responses,
+  keyed on :func:`repro.core.digest.program_digest`;
+* :mod:`repro.service.handlers` — transport-free request handling:
+  payload dict in, ``(status, payload)`` out; owns the sessions that
+  give :mod:`repro.core.incremental` its re-inference wins;
+* :mod:`repro.service.server` — the asyncio HTTP front end with the
+  concurrency limiter and per-request :mod:`contextvars` isolation.
+"""
+
+from repro.service.cache import ShardedCache
+from repro.service.handlers import ServiceConfig, ServiceCore
+from repro.service.server import ReproServer, ServerHandle, start_in_background
+
+__all__ = [
+    "ReproServer",
+    "ServerHandle",
+    "ServiceConfig",
+    "ServiceCore",
+    "ShardedCache",
+    "start_in_background",
+]

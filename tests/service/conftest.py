@@ -1,0 +1,60 @@
+"""Shared plumbing for the service tests: an in-process server on a
+daemon thread plus a tiny stdlib HTTP client."""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceCore, start_in_background
+
+
+class Client:
+    """One request = one connection unless ``conn`` is passed."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        conn: Optional[http.client.HTTPConnection] = None,
+        timeout: float = 60.0,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        own = conn is None
+        if conn is None:
+            conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        raw = response.read()
+        headers = {name.lower(): value for name, value in response.getheaders()}
+        if own:
+            conn.close()
+        return response.status, json.loads(raw) if raw else None, headers
+
+    def connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection("127.0.0.1", self.port, timeout=60.0)
+
+
+@pytest.fixture(scope="module")
+def service():
+    handle = start_in_background(
+        ServiceCore(ServiceConfig(cache_capacity=4096)),
+        max_concurrency=8,
+        max_queue=64,
+    )
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return Client(service.port)
