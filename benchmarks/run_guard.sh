@@ -6,10 +6,12 @@
 #     sh benchmarks/run_guard.sh
 #
 # Fails (non-zero exit) if any tier-1 test fails, if the memoization
-# layer no longer delivers the required >= 2x cold-vs-warm speedup, or
-# if the compiled evaluation engine no longer delivers the required
-# >= 2x warm speedup over the tree evaluator (with bit-identical
-# BspCost tables and trace signatures).
+# layer no longer delivers the required >= 2x cold-vs-warm speedup, if
+# the compiled evaluation engine no longer delivers the required >= 2x
+# warm speedup over the tree evaluator, or if the vectorized engine no
+# longer delivers >= 2x over compiled in aggregate at p >= 16 on the
+# costed scaling suite (all with bit-identical BspCost tables and
+# trace signatures).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,5 +24,5 @@ python -m pytest -x -q
 echo "== solver-cache speedup guard =="
 python -m pytest benchmarks/bench_solver_cache.py -q --benchmark-disable
 
-echo "== compiled-engine speedup guard =="
+echo "== compiled + vectorized engine speedup guards =="
 python -m pytest benchmarks/bench_evaluators.py -q --benchmark-disable

@@ -20,7 +20,7 @@ from repro import obs, perf, run_program, typecheck_scheme
 from repro.core import TypingError, explain as explain_expr
 from repro.lang import ParseError, parse_program, pretty, with_prelude
 from repro.lang.errors import ReproError
-from repro.semantics import StuckError, trace as smallstep_trace
+from repro.semantics import ENGINES, StuckError, trace as smallstep_trace
 
 
 def _load(args: argparse.Namespace):
@@ -228,11 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--engine",
-        choices=("tree", "compiled"),
+        choices=ENGINES,
         default="tree",
-        help="evaluation engine: tree (big-step interpreter) or compiled "
-        "(closure-compiling, slot-indexed environments); value, cost and "
-        "trace are engine-independent",
+        help="evaluation engine: tree (big-step interpreter), compiled "
+        "(closure-compiling, slot-indexed environments) or vectorized "
+        "(compiled closures batched over all p pids per superstep); "
+        "value, cost and trace are engine-independent",
     )
     run.add_argument(
         "--faults",
@@ -265,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--engine",
-        choices=("tree", "compiled"),
+        choices=ENGINES,
         default="tree",
         help="evaluation engine for the profiled run",
     )
@@ -308,7 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repl.add_argument(
         "--engine",
-        choices=("tree", "compiled"),
+        choices=ENGINES,
         default="tree",
         help="initial evaluation engine (also :engine in the session)",
     )
@@ -352,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine",
-        choices=("tree", "compiled"),
+        choices=ENGINES,
         default="tree",
         help="default evaluation engine (requests may override)",
     )

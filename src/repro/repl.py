@@ -17,8 +17,9 @@ Meta-commands::
     :stats           print perf counters and solver-cache hit rates
                      (:stats verbose includes zero-call caches)
     :backend [name]  show or switch the execution backend (seq/thread/process)
-    :engine [name]   show or switch the evaluation engine (tree/compiled);
-                     value, cost and trace are engine-independent
+    :engine [name]   show or switch the evaluation engine
+                     (tree/compiled/vectorized); value, cost and trace
+                     are engine-independent
     :faults [SPEC]   show, arm (e.g. seed=42,crash=0.1,attempts=4) or
                      disarm (:faults off) deterministic fault injection
     :reset           forget definitions and cost

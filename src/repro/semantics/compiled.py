@@ -106,14 +106,16 @@ from repro.semantics.values import (
 
 #: The selectable evaluation engines, in documentation order.  ``tree``
 #: is the environment-passing big-step evaluator (the default and the
-#: reference); ``compiled`` is this module's engine.
-ENGINES = ("tree", "compiled")
+#: reference); ``compiled`` is this module's engine; ``vectorized``
+#: (:mod:`repro.semantics.vectorized`) runs compiled closures once over
+#: a length-p vector of frames.
+ENGINES = ("tree", "compiled", "vectorized")
 
 
 def get_engine(name: str):
-    """The evaluator class for ``name`` (``tree`` or ``compiled``).
+    """The evaluator class for ``name`` (one of :data:`ENGINES`).
 
-    Both classes share the ``(p, machine)`` constructor and the
+    All engine classes share the ``(p, machine)`` constructor and the
     ``eval(expr, env)`` / ``apply(fn, arg)`` surface, so callers switch
     engines without touching anything else.
     """
@@ -121,6 +123,11 @@ def get_engine(name: str):
         return Evaluator
     if name == "compiled":
         return CompiledEvaluator
+    if name == "vectorized":
+        # Imported lazily: vectorized builds on this module.
+        from repro.semantics.vectorized import VectorizedEvaluator
+
+        return VectorizedEvaluator
     raise ValueError(
         f"unknown engine {name!r} (choose from {', '.join(ENGINES)})"
     )
@@ -168,6 +175,20 @@ class _Runtime:
     def require_global(self, operation: str) -> None:
         if self.proc is not None:
             raise DynamicNestingError(Prim(operation), self.proc)
+
+    # The parallel primitives dispatch through these overridable hooks
+    # so an engine can substitute its own superstep strategy (the
+    # vectorized engine batches the per-component applications) without
+    # re-deriving the primitive dispatch above them.
+
+    def mkpar(self, fn: Value) -> Value:
+        return _mkpar(self, fn)
+
+    def parallel_apply(self, arg: Value) -> Value:
+        return _parallel_apply(self, arg)
+
+    def put(self, arg: Value) -> Value:
+        return _put(self, arg)
 
 
 # -- compile-time scope -------------------------------------------------------
@@ -226,18 +247,17 @@ def _foldable_shape(expr: Expr) -> bool:
     return True
 
 
-def _try_fold(expr: Expr, p: int):
-    """Compile ``expr`` to a precomputed step, or None when it must run.
+def fold_constant(expr: Expr, p: int) -> Optional[Tuple[Value, float]]:
+    """Evaluate a foldable subtree at compile time: ``(value, ops)``,
+    or None when ``expr`` must run.
 
     Only closed (no free variables), syntactically terminating subtrees
-    whose value is a scalar fold.  The folded step charges the ops a
-    tree evaluation would have charged — counted once, at compile time,
-    by a counting shadow evaluator — so the lump sum lands on the same
-    processes in the same superstep and :class:`BspCost` stays
-    bit-identical (sums of 1.0 are exact floats).  If compile-time
+    whose value is a scalar fold.  The ops a tree evaluation would have
+    charged are counted by a counting shadow evaluator.  If compile-time
     evaluation raises *anything*, folding is abandoned so the error
     still happens at run time, exactly when the tree engine reaches it
-    (or never, in an untaken branch).
+    (or never, in an untaken branch).  Shared with the vectorized
+    engine, which broadcasts the folded value across all lanes.
     """
     if isinstance(expr, (Const, Var, Prim, Fun)):
         return None  # leaves compile to direct steps already
@@ -253,7 +273,21 @@ def _try_fold(expr: Expr, p: int):
         return None
     if not isinstance(value, (bool, int, UnitType)):
         return None
-    ops = shadow._counted_ops
+    return value, shadow._counted_ops
+
+
+def _try_fold(expr: Expr, p: int):
+    """Compile ``expr`` to a precomputed step, or None when it must run.
+
+    The folded step charges the statically counted ops as a lump, so
+    the sum lands on the same processes in the same superstep and
+    :class:`BspCost` stays bit-identical to the tree engine (sums of
+    1.0 are exact floats).
+    """
+    folded = fold_constant(expr, p)
+    if folded is None:
+        return None
+    value, ops = folded
     if ops:
 
         def step(rt, frame):
@@ -621,10 +655,10 @@ def _apply_prim_value(rt: _Runtime, name: str, arg: Value) -> Value:
     if name in PARALLEL_PRIMS:
         rt.require_global(name)
         if name == "mkpar":
-            return _mkpar(rt, arg)
+            return rt.mkpar(arg)
         if name == "apply":
-            return _parallel_apply(rt, arg)
-        return _put(rt, arg)
+            return rt.parallel_apply(arg)
+        return rt.put(arg)
     raise EvalError(f"unknown primitive {name!r}")
 
 

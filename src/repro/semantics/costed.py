@@ -62,10 +62,12 @@ def run_costed(
     :mod:`repro.testing.differential` enforces exactly that.
 
     ``engine`` selects the evaluation engine: ``tree`` (the
-    environment-passing big-step evaluator, the default) or ``compiled``
-    (the closure-compiling engine of :mod:`repro.semantics.compiled`).
-    Values, costs, and trace signatures are engine-independent by
-    construction — the ``check_engines`` differential mode enforces it.
+    environment-passing big-step evaluator, the default), ``compiled``
+    (the closure-compiling engine of :mod:`repro.semantics.compiled`) or
+    ``vectorized`` (compiled closures batched over all p pids per
+    superstep, :mod:`repro.semantics.vectorized`).  Values, costs, and
+    trace signatures are engine-independent by construction — the
+    ``check_engines`` differential mode enforces it.
 
     ``faults``/``retry`` arm a :class:`~repro.bsp.faults.FaultPlan` and
     :class:`~repro.bsp.faults.RetryPolicy` on the machine: supersteps

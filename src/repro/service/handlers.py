@@ -39,7 +39,7 @@ from repro.lang import parse_program, pretty, with_prelude
 from repro.lang.ast import Expr, Let
 from repro.lang.errors import ParseError, ReproError
 from repro.lang.limits import deep_recursion
-from repro.semantics import CostedResult, StuckError, run_costed
+from repro.semantics import ENGINES, CostedResult, StuckError, run_costed
 from repro.semantics.values import reify
 from repro.service.cache import ShardedCache
 
@@ -236,6 +236,13 @@ class ServiceCore:
         for knob in ("typed", "prelude"):
             if not isinstance(options[knob], bool):
                 raise RequestError(400, "bad-request", f"{knob} must be a boolean")
+        if options["engine"] not in ENGINES:
+            raise RequestError(
+                400,
+                "bad-request",
+                f"engine must be one of {', '.join(ENGINES)}, "
+                f"got {options['engine']!r}",
+            )
         if options["faults"] is not None and not isinstance(options["faults"], str):
             raise RequestError(400, "bad-request", "faults must be a spec string")
         return options

@@ -15,6 +15,14 @@ one by wrapping a globally-typed subterm under ``mkpar`` — the
 ``example1``/``example2`` shapes — giving the negative corpus for the
 Milner-baseline comparison.
 
+The ``divergence`` knob weights booleans generated inside vector
+components toward comparisons on the component's own pid, and lets a
+``let`` bind whole vectors, so sweeps can target pid-divergent control
+flow and mixed uniform/divergent supersteps — the workload that forces
+an SPMD-batched engine through its peeling path.  ``partial_failure``
+emits the one deliberate exception to the no-``/`` rule: a program
+where exactly one pid divides by zero, for per-pid error-parity sweeps.
+
 The module also exports small curated corpora (including every program
 discussed in the paper's section 2.1) used across tests and benchmarks.
 """
@@ -189,9 +197,18 @@ class ProgramGenerator:
         TSum(INT, BOOL),
     )
 
-    def __init__(self, seed: int = 0, p_hint: int = 2) -> None:
+    def __init__(
+        self, seed: int = 0, p_hint: int = 2, divergence: float = 0.0
+    ) -> None:
         self.rng = random.Random(seed)
         self.p_hint = max(1, p_hint)
+        #: Probability that a boolean generated inside a vector
+        #: component is a comparison on the component's own pid —
+        #: pid-divergent control flow that forces an SPMD engine off
+        #: the uniform batch path.  The default 0.0 draws nothing from
+        #: the RNG, so existing seeded sweeps are unchanged.
+        self.divergence = divergence
+        self._pids: List[str] = []
 
     # -- entry points -------------------------------------------------------
 
@@ -271,6 +288,13 @@ class ProgramGenerator:
         return App(Prim(op), Pair(left, right))
 
     def _comparison(self, scope: _Scope, depth: int, local: bool) -> Expr:
+        if (
+            self.divergence
+            and local
+            and self._pids
+            and self.rng.random() < self.divergence
+        ):
+            return self._pid_branch()
         kind = self.rng.random()
         if kind < 0.6:
             op = self.rng.choice(["=", "<>", "<", "<=", ">", ">="])
@@ -292,6 +316,25 @@ class ProgramGenerator:
             )
         return App(Prim("not"), self._gen(BOOL, scope, depth - 1, local))
 
+    def _pid_branch(self) -> Expr:
+        """A boolean on the innermost component's pid: true on some
+        strict-subset of the processes (almost always), so ``if``/``case``
+        scrutinees built from it split the lanes of a batched engine."""
+        pid = Var(self._pids[-1])
+        kind = self.rng.random()
+        bound = Const(self.rng.randrange(self.p_hint + 1))
+        if kind < 0.4:
+            op = self.rng.choice(("<", "<=", ">", ">="))
+            return App(Prim(op), Pair(pid, bound))
+        if kind < 0.8:
+            op = self.rng.choice(("=", "<>"))
+            return App(Prim(op), Pair(pid, bound))
+        modulus = Const(self.rng.randrange(2, 4))
+        return App(
+            Prim("="),
+            Pair(App(Prim("mod"), Pair(pid, modulus)), Const(0)),
+        )
+
     def _lambda(self, target: TArrow, scope: _Scope, depth: int, local: bool) -> Expr:
         name = scope.fresh(target.domain)
         body = self._gen(target.codomain, scope, depth - 1, local)
@@ -306,7 +349,13 @@ class ProgramGenerator:
         )
 
     def _let(self, target: Type, scope: _Scope, depth: int, local: bool) -> Expr:
-        bound_ty = self.rng.choice(self.LOCAL_GROUND)
+        if self.divergence and not local:
+            # Mixed uniform/divergent supersteps: a let-bound vector is
+            # computed in its own superstep(s) and can be reused by a
+            # later ``apply`` through the variable producers.
+            bound_ty = self.rng.choice(self.LOCAL_GROUND + (TPar(INT),))
+        else:
+            bound_ty = self.rng.choice(self.LOCAL_GROUND)
         bound = self._gen(bound_ty, scope, depth - 1, local)
         name = scope.fresh(bound_ty)
         body = self._gen(target, scope, depth - 1, local)
@@ -340,8 +389,12 @@ class ProgramGenerator:
 
     def _mkpar(self, target: TPar, scope: _Scope, depth: int) -> Expr:
         name = scope.fresh(INT)
-        body = self._gen(target.content, scope, depth - 1, local=True)
-        scope.drop(INT, name)
+        self._pids.append(name)
+        try:
+            body = self._gen(target.content, scope, depth - 1, local=True)
+        finally:
+            self._pids.pop()
+            scope.drop(INT, name)
         return App(Prim("mkpar"), Fun(name, body))
 
     def _apply(self, target: TPar, scope: _Scope, depth: int) -> Expr:
@@ -378,3 +431,26 @@ class ProgramGenerator:
             )
         # fourth-projection shape: hide it in a discarded pair slot.
         return App(Prim("fst"), Pair(Const(self.rng.randrange(10)), inner_global))
+
+    # -- per-pid partial failure --------------------------------------------------
+
+    def partial_failure(self, depth: int = 3) -> Expr:
+        """A well-typed parallel program in which exactly one pid raises
+        (division by zero) while the others compute normally — the
+        error-parity workload for a batched engine's kill/fallback lane:
+        every engine must surface the same error at the same superstep,
+        committing nothing from the failed superstep into the cost."""
+        victim = self.rng.randrange(self.p_hint)
+        scope = _Scope()
+        name = scope.fresh(INT)
+        self._pids.append(name)
+        try:
+            safe = self._gen(INT, scope, depth - 1, local=True)
+        finally:
+            self._pids.pop()
+            scope.drop(INT, name)
+        poison = App(Prim("/"), Pair(Const(100), Const(0)))
+        body = If(
+            App(Prim("="), Pair(Var(name), Const(victim))), poison, safe
+        )
+        return App(Prim("mkpar"), Fun(name, body))

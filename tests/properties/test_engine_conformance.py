@@ -1,15 +1,18 @@
 """Differential property sweep for the evaluation engines: the
-closure-compiling engine (:mod:`repro.semantics.compiled`) must observe
+closure-compiling engine (:mod:`repro.semantics.compiled`) and the
+SPMD-vectorized engine (:mod:`repro.semantics.vectorized`) must observe
 the same values, the same BspCost decomposition and the same abstract
-trace signature as the tree-walking reference — on generated programs,
-on the whole shipped corpus, across every backend, and under armed chaos
-plans.  The unsafe corpus must fail identically (same error type, same
-message) on both engines."""
+trace signature as the tree-walking reference — on generated programs
+(uniform and pid-divergent), on the whole shipped corpus, across every
+backend, and under armed chaos plans.  The unsafe corpus and the
+per-pid partial-failure programs must fail identically (same error
+type, same message) on every engine."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro import perf
 from repro.bsp.params import BspParams
 from repro.testing import (
     ProgramGenerator,
@@ -25,6 +28,15 @@ PARAMS = BspParams(p=4, g=2.0, l=50.0)
 
 def _generated(seed):
     return ProgramGenerator(seed=seed, p_hint=PARAMS.p).expression(depth=4)
+
+
+def _divergent(seed):
+    """Weighted toward branch-on-pid control flow and let-bound vectors
+    (mixed uniform/divergent supersteps): the workload that drives the
+    vectorized engine off the uniform batch path into peeling."""
+    return ProgramGenerator(
+        seed=seed, p_hint=PARAMS.p, divergence=0.7
+    ).expression(depth=4)
 
 
 @pytest.mark.parametrize("seed", range(200))
@@ -43,6 +55,55 @@ def test_generated_program_engines_agree(seed):
         )
     except AssertionError as error:  # pragma: no cover - diagnostic path
         raise AssertionError(f"seed {seed}: {error}") from error
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_divergent_program_engines_agree(seed):
+    """≥100 divergence-weighted programs: pid-dependent ``if``/``case``
+    scrutinees and mixed supersteps still produce identical value
+    fingerprints, BspCost superstep lists and trace signatures on all
+    three engines."""
+    expr = _divergent(seed)
+    try:
+        assert_engine_conformance(
+            expr,
+            params=PARAMS,
+            backends=("seq",),
+            use_prelude=False,
+            check_trace=True,
+        )
+    except AssertionError as error:  # pragma: no cover - diagnostic path
+        raise AssertionError(f"seed {seed}: {error}") from error
+
+
+def test_divergent_sweep_exercises_peeling():
+    """Sanity: the divergence-weighted sweep really drives the
+    vectorized engine through its peel/fallback lanes — a sweep that
+    only ever hits the happy batch path would prove nothing about
+    divergence handling."""
+    from repro.semantics import run_costed
+
+    with perf.collect() as stats:
+        for seed in range(40):
+            run_costed(_divergent(seed), PARAMS, engine="vectorized")
+    assert stats.counter("semantics.vectorized.batched_steps") > 0
+    assert stats.counter("semantics.vectorized.peel_events") > 0
+    assert stats.counter("semantics.vectorized.fallback_pids") > 0
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_partial_failure_error_parity(seed):
+    """Programs where exactly one pid raises: every engine surfaces the
+    same error string, and the failed superstep commits nothing into
+    the cost on any engine (the report's cost comparison covers the
+    supersteps before the failure)."""
+    expr = ProgramGenerator(seed=seed, p_hint=PARAMS.p).partial_failure()
+    report = run_engines(expr, params=PARAMS, backends=("seq",))
+    assert report.conforms, report.explain()
+    reference = report.reference
+    assert reference.error is not None, "partial_failure must raise"
+    for run in report.runs[1:]:
+        assert run.error == reference.error, report.explain()
 
 
 @pytest.mark.parametrize(

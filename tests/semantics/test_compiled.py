@@ -252,7 +252,7 @@ def test_compiled_program_machine_width_check():
 
 
 def test_get_engine():
-    assert ENGINES == ("tree", "compiled")
+    assert ENGINES == ("tree", "compiled", "vectorized")
     assert get_engine("tree") is Evaluator
     assert get_engine("compiled") is CompiledEvaluator
     with pytest.raises(ValueError, match="unknown engine 'x86'"):
@@ -303,5 +303,5 @@ def test_repl_engine_command():
     text = out.getvalue()
     assert "engine switched to compiled" in text
     assert "- : int par = <4, 4, 4, 4>" in text
-    assert "engine: compiled (available: tree, compiled)" in text
+    assert "engine: compiled (available: tree, compiled, vectorized)" in text
     assert "unknown engine 'turbo'" in text

@@ -113,6 +113,70 @@ def test_clean_sweep_matches_sequential_reference(sweep_service):
     assert peak >= 8, f"peak_inflight={peak}"
 
 
+def test_vectorized_engine_sweep_matches_reference(sweep_service):
+    """The whole corpus served with ``engine=vectorized`` answers the
+    exact fields of the sequential tree-engine reference — the service
+    surface of the engine-conformance property."""
+    client = Client(sweep_service.port)
+    for name, source in conformance_corpus():
+        payload = {"program": source, "p": P, "engine": "vectorized"}
+        status, body, _ = client.request("POST", "/v1/run", payload)
+        while status == 429:  # pragma: no cover - saturation backoff
+            time.sleep(0.05)
+            status, body, _ = client.request("POST", "/v1/run", payload)
+        assert status == 200, f"{name}: {body}"
+        expected = _reference(source)
+        assert body["type"] == expected["type"], name
+        assert body["constraints"] == expected["constraints"], name
+        assert body["value"] == expected["value"], name
+        assert body["cost"] == expected["cost"], name
+
+
+def test_engine_is_part_of_the_cache_key():
+    """Identical programs under different engines are distinct cache
+    entries (the digest folds the engine knob), replay byte-identically
+    per engine, and agree on every deterministic field across engines."""
+    handle = start_in_background(
+        ServiceCore(ServiceConfig(p=P)), max_concurrency=4, max_queue=16
+    )
+    try:
+        client = Client(handle.port)
+        program = {"program": "scan (fun ab -> fst ab + snd ab) (mkpar (fun i -> i + 1))", "p": P}
+        bodies = {}
+        for engine in ("tree", "compiled", "vectorized"):
+            payload = dict(program, engine=engine)
+            s1, b1, h1 = client.request("POST", "/v1/run", payload)
+            s2, b2, h2 = client.request("POST", "/v1/run", payload)
+            assert (s1, s2) == (200, 200), (engine, b1, b2)
+            # First sight of each engine is a miss: same program under
+            # another engine did not poison the key.
+            assert h1["x-repro-cache"] == "miss", engine
+            assert h2["x-repro-cache"] == "hit", engine
+            for field in ("type", "constraints", "value", "cost"):
+                assert b1[field] == b2[field], (engine, field)
+            bodies[engine] = b1
+        for engine, body in bodies.items():
+            for field in ("type", "constraints", "value", "cost"):
+                assert body[field] == bodies["tree"][field], (engine, field)
+    finally:
+        handle.stop()
+
+
+def test_unknown_engine_is_a_request_error():
+    handle = start_in_background(
+        ServiceCore(ServiceConfig(p=P)), max_concurrency=4, max_queue=16
+    )
+    try:
+        client = Client(handle.port)
+        status, body, _ = client.request(
+            "POST", "/v1/run", {"program": "1 + 1", "engine": "turbo"}
+        )
+        assert status == 400
+        assert "engine must be one of tree, compiled, vectorized" in body["error"]["message"]
+    finally:
+        handle.stop()
+
+
 def test_chaos_sweep_is_bit_identical_to_clean(sweep_service):
     """With a survivable fault plan armed, every observable field equals
     the clean run: supersteps retry transactionally until they commit."""
