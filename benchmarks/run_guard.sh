@@ -8,10 +8,11 @@
 # Fails (non-zero exit) if any tier-1 test fails, if the memoization
 # layer no longer delivers the required >= 2x cold-vs-warm speedup, if
 # the compiled evaluation engine no longer delivers the required >= 2x
-# warm speedup over the tree evaluator, or if the vectorized engine no
+# warm speedup over the tree evaluator, if the vectorized engine no
 # longer delivers >= 2x over compiled in aggregate at p >= 16 on the
 # costed scaling suite (all with bit-identical BspCost tables and
-# trace signatures).
+# trace signatures), or if disabled metrics cost more than 1.05x of the
+# uninstrumented machine.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,3 +27,6 @@ python -m pytest benchmarks/bench_solver_cache.py -q --benchmark-disable
 
 echo "== compiled + vectorized engine speedup guards =="
 python -m pytest benchmarks/bench_evaluators.py -q --benchmark-disable
+
+echo "== disabled-metrics overhead guard =="
+python -m pytest benchmarks/bench_metrics.py -q --benchmark-disable

@@ -443,6 +443,10 @@ class BspMachine:
                         "records 0 words sent — unaccounted communication"
                     )
         if obs.is_tracing():
+            # The full traffic matrix rides on the span (deterministic,
+            # so abstract signatures stay backend-identical): the trace
+            # analyzer aggregates it into the per-pair communication
+            # report without re-deriving routing from payload keys.
             with obs.span(
                 "superstep.exchange",
                 obs.MACHINE_TRACK,
@@ -450,6 +454,7 @@ class BspMachine:
                 label=label,
                 h=relation.h,
                 words=relation.total_words,
+                matrix=tuple(tuple(int(w) for w in row) for row in sent_words),
             ):
                 self._deliver(relation, payloads, label)
         else:

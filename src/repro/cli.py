@@ -1,4 +1,4 @@
-"""Command-line interface: ``minibsml {typecheck,run,profile,trace,explain}``.
+"""Command-line interface: ``minibsml {typecheck,run,profile,trace,analyze,explain}``.
 
 Examples::
 
@@ -6,6 +6,7 @@ Examples::
     minibsml run -e "bcast 2 (mkpar (fun i -> i * i))" -p 8 -g 2 -l 100
     minibsml run -e "bcast 2 (mkpar (fun i -> i * i))" --trace out.json
     minibsml profile -e "bcast 2 (mkpar (fun i -> i * i))" -p 8
+    minibsml analyze out.json
     minibsml trace -e "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> 0))" -p 2
     minibsml explain -e "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)"
 """
@@ -182,6 +183,20 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    """Read a saved trace back and print the BSP analytics report."""
+    try:
+        trace = obs.load_trace(args.trace_file, format=args.format)
+    except ValueError as error:
+        # A malformed trace file is an input problem, like an unreadable
+        # one: report it on the usage/IO exit code.
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 2
+    report = obs.analyze_trace(trace, g=args.g, l=args.l)
+    print(report.render())
+    return 0
+
+
 def _command_explain(args: argparse.Namespace) -> int:
     expr = _load(args)
     if not args.no_prelude:
@@ -277,6 +292,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arguments(profile)
     profile.set_defaults(handler=_command_profile)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="read a saved trace (from --trace / profile) and report the "
+        "superstep critical path, load imbalance, traffic matrix and a "
+        "least-squares calibration of effective g/l with a "
+        "modelled-vs-measured drift table",
+    )
+    analyze.add_argument(
+        "trace_file", help="path to a saved trace (.jsonl or Chrome JSON)"
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default=None,
+        help="trace file format (default: inferred from the suffix)",
+    )
+    analyze.add_argument(
+        "-g",
+        type=float,
+        default=None,
+        help="the machine's configured g in seconds/word; with both -g and "
+        "-l the drift table predicts from the configured model instead of "
+        "the fitted one",
+    )
+    analyze.add_argument(
+        "-l",
+        type=float,
+        default=None,
+        help="the machine's configured l in seconds/barrier (see -g)",
+    )
+    analyze.set_defaults(handler=_command_analyze)
 
     tr = commands.add_parser("trace", help="print the small-step reduction")
     _add_source_arguments(tr)
@@ -375,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="entries in the digest-keyed response cache",
     )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the process-global metrics registry and the "
+        "/v1/metrics exposition",
+    )
     serve.set_defaults(handler=_command_serve)
 
     return parser
@@ -407,6 +460,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         engine=args.engine,
         cache_capacity=args.cache_capacity,
+        metrics=not args.no_metrics,
     )
     server = ReproServer(
         ServiceCore(config),

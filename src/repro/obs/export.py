@@ -12,7 +12,7 @@ Three formats, one per audience:
   timestamps normalized to seconds since the trace epoch; the format for
   downstream tooling and ad-hoc ``jq``;
 * :func:`summarize` — a human-readable report with per-span-kind latency
-  histograms (count / p50 / p95 / max) and a per-superstep table of the
+  histograms (count / p50 / p95 / p99 / max / mean) and a per-superstep table of the
   committed abstract cost next to the measured phase times, which is the
   modelled-versus-measured comparison ``repro profile`` prints.
 
@@ -25,6 +25,8 @@ job runs against emitted files.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -105,10 +107,36 @@ def to_chrome(trace: Trace) -> Dict[str, Any]:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
+def _atomic_write_text(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically.
+
+    The text goes to a temporary file in the *target* directory (same
+    filesystem, so the final rename cannot degrade to a copy) and is
+    moved into place with :func:`os.replace` only once fully written.
+    An exporter interrupted mid-write — out of disk, a signal, a crashed
+    worker — therefore leaves either the previous file intact or no file
+    at all, never a truncated trace that downstream tooling would choke
+    on.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def write_chrome(trace: Trace, path: Union[str, Path]) -> Path:
     path = Path(path)
-    path.write_text(json.dumps(to_chrome(trace), indent=1), encoding="utf-8")
-    return path
+    return _atomic_write_text(path, json.dumps(to_chrome(trace), indent=1))
 
 
 def to_jsonl(trace: Trace) -> List[str]:
@@ -133,8 +161,7 @@ def to_jsonl(trace: Trace) -> List[str]:
 
 def write_jsonl(trace: Trace, path: Union[str, Path]) -> Path:
     path = Path(path)
-    path.write_text("\n".join(to_jsonl(trace)) + "\n", encoding="utf-8")
-    return path
+    return _atomic_write_text(path, "\n".join(to_jsonl(trace)) + "\n")
 
 
 # -- latency histograms -------------------------------------------------------
@@ -148,8 +175,10 @@ class SpanHistogram:
     count: int
     p50: float
     p95: float
+    p99: float
     max: float
     total: float
+    mean: float
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -170,14 +199,17 @@ def histograms(trace: Trace) -> List[SpanHistogram]:
     out = []
     for name, values in durations.items():
         values.sort()
+        total = sum(values)
         out.append(
             SpanHistogram(
                 name,
                 len(values),
                 _percentile(values, 0.50),
                 _percentile(values, 0.95),
+                _percentile(values, 0.99),
                 values[-1],
-                sum(values),
+                total,
+                total / len(values),
             )
         )
     out.sort(key=lambda h: (-h.total, h.name))
@@ -235,12 +267,13 @@ def summarize(trace: Trace) -> str:
         lines.append("  span latencies (ms):")
         lines.append(
             f"    {'kind':<24} {'count':>7} {'p50':>9} {'p95':>9} "
-            f"{'max':>9} {'total':>9}"
+            f"{'p99':>9} {'max':>9} {'mean':>9} {'total':>9}"
         )
         for row in rows:
             lines.append(
                 f"    {row.name:<24} {row.count:>7} {row.p50 * 1e3:>9.3f} "
-                f"{row.p95 * 1e3:>9.3f} {row.max * 1e3:>9.3f} "
+                f"{row.p95 * 1e3:>9.3f} {row.p99 * 1e3:>9.3f} "
+                f"{row.max * 1e3:>9.3f} {row.mean * 1e3:>9.3f} "
                 f"{row.total * 1e3:>9.2f}"
             )
     counts: Dict[str, int] = {}
@@ -295,8 +328,7 @@ def write_trace(
     if format == "jsonl":
         return write_jsonl(trace, path)
     if format == "summary":
-        path.write_text(summarize(trace) + "\n", encoding="utf-8")
-        return path
+        return _atomic_write_text(path, summarize(trace) + "\n")
     raise ValueError(
         f"unknown trace format {format!r} (choose from {', '.join(TRACE_FORMATS)})"
     )
@@ -325,24 +357,28 @@ def validate_chrome_trace(source: Union[str, Path, Dict[str, Any]]) -> int:
         raise ValueError("empty trace: no events")
     last_ts: Dict[Tuple[int, int], float] = {}
     for index, entry in enumerate(events):
+        # Identify the offending record by index *and* name in every
+        # message, so a failure in a thousand-event artifact points
+        # straight at the culprit.
+        label = f"event {index} ({entry.get('name', '<unnamed>')!r})"
         for key in ("name", "ph", "pid", "tid", "ts"):
             if key not in entry:
-                raise ValueError(f"event {index} is missing required key {key!r}: {entry}")
+                raise ValueError(f"{label} is missing required key {key!r}: {entry}")
         if entry["ph"] not in ("X", "i", "I", "M", "B", "E", "C"):
-            raise ValueError(f"event {index} has unknown phase {entry['ph']!r}")
+            raise ValueError(f"{label} has unknown phase {entry['ph']!r}")
         if not isinstance(entry["ts"], (int, float)) or entry["ts"] < 0:
-            raise ValueError(f"event {index} has a bad timestamp: {entry['ts']!r}")
+            raise ValueError(f"{label} has a bad timestamp: {entry['ts']!r}")
         if entry["ph"] == "X":
             if not isinstance(entry.get("dur"), (int, float)) or entry["dur"] < 0:
                 raise ValueError(
-                    f"complete event {index} needs a non-negative 'dur': {entry}"
+                    f"complete {label} needs a non-negative 'dur': {entry}"
                 )
         if entry["ph"] == "M":
             continue
         key = (entry["pid"], entry["tid"])
         if entry["ts"] < last_ts.get(key, 0.0):
             raise ValueError(
-                f"event {index} breaks per-track ts monotonicity on {key}: "
+                f"{label} breaks per-track ts monotonicity on {key}: "
                 f"{entry['ts']} < {last_ts[key]}"
             )
         last_ts[key] = entry["ts"]

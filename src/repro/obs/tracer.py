@@ -53,7 +53,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 #: The track carrying superstep phases, commits, retries and rollbacks.
 MACHINE_TRACK = "machine"
@@ -194,9 +194,38 @@ def _pop(collector: Trace) -> None:
         _ACTIVE.set(tuple(entry for entry in active if entry is not collector))
 
 
+#: Module-global record sinks.  Unlike the context-local collectors a
+#: sink sees every record of the whole process — it is how the metrics
+#: aggregation layer (:mod:`repro.obs.metrics`) observes superstep and
+#: inference spans across all concurrent requests of the service while
+#: each request's trace window stays isolated.  An immutable tuple for
+#: the same torn-read-free reason as ``_ACTIVE``.
+_SINKS: Tuple[Callable[[TraceRecord], None], ...] = ()
+
+
+def add_sink(sink: Callable[[TraceRecord], None]) -> None:
+    """Register a process-global record sink (idempotent)."""
+    global _SINKS
+    if sink not in _SINKS:
+        _SINKS = _SINKS + (sink,)
+
+
+def remove_sink(sink: Callable[[TraceRecord], None]) -> None:
+    """Unregister a sink previously added with :func:`add_sink`."""
+    global _SINKS
+    if sink in _SINKS:
+        _SINKS = tuple(entry for entry in _SINKS if entry is not sink)
+
+
 def is_tracing() -> bool:
-    """True when at least one trace collector is active in this context."""
-    return bool(_ACTIVE.get())
+    """True when any consumer wants records: a context-local collector
+    in this context, or a process-global sink."""
+    return bool(_ACTIVE.get()) or bool(_SINKS)
+
+
+def is_active(collector: Trace) -> bool:
+    """True when ``collector`` is currently collecting in this context."""
+    return collector in _ACTIVE.get()
 
 
 def record(
@@ -206,18 +235,25 @@ def record(
     dur: Optional[float] = None,
     **args: Any,
 ) -> None:
-    """Append a finished record to every active collector."""
+    """Append a finished record to every active collector and sink."""
     active = _ACTIVE.get()
-    if not active:
+    sinks = _SINKS
+    if not active and not sinks:
         return
     entry = TraceRecord(name, track, ts, dur, tuple(sorted(args.items())))
     for trace_ in active:
         trace_.records.append(entry)
+    for sink in sinks:
+        try:
+            sink(entry)
+        except Exception:
+            # A broken metrics sink must never take the machine down.
+            pass
 
 
 def event(name: str, track: str, **args: Any) -> None:
     """Record an instant event at the current time (no-op when inactive)."""
-    if not _ACTIVE.get():
+    if not is_tracing():
         return
     record(name, track, time.perf_counter(), None, **args)
 
@@ -237,7 +273,7 @@ def span(name: str, track: str, **args: Any) -> Iterator[Optional[Dict[str, Any]
     The span is recorded even when the block raises — a failed phase is
     exactly what a chaos trace needs to show.
     """
-    if not _ACTIVE.get():
+    if not is_tracing():
         yield None
         return
     extra: Dict[str, Any] = {}

@@ -16,6 +16,9 @@ Meta-commands::
     :cost            print the BSP cost accumulated so far
     :stats           print perf counters and solver-cache hit rates
                      (:stats verbose includes zero-call caches)
+    :metrics         print the Prometheus exposition of the session's
+                     metrics (:metrics on|off toggles collection,
+                     :metrics reset zeroes every series)
     :backend [name]  show or switch the execution backend (seq/thread/process)
     :engine [name]   show or switch the evaluation engine
                      (tree/compiled/vectorized); value, cost and trace
@@ -84,6 +87,9 @@ class Session:
         #: survives :meth:`reset` — it observes the session, not one
         #: machine incarnation.
         self.trace_collector: Optional[obs.Trace] = None
+        #: True while this session holds one reference on the global
+        #: metrics registry (``:metrics on``); released at exit.
+        self.metrics_on = False
         self.reset()
 
     def reset(self) -> None:
@@ -151,6 +157,9 @@ class Session:
                 print(self.perf_stats.render(verbose=rest == "verbose"), file=out)
             else:
                 print("perf collection is not active for this session", file=out)
+            return True
+        if command == ":metrics":
+            self._metrics_meta(rest, out)
             return True
         if command == ":backend":
             if not rest:
@@ -253,14 +262,56 @@ class Session:
             print(f"machine restarted: {self.params.describe()}", file=out)
             return True
         print(f"unknown command {command!r} (try :type :explain :trace :cost "
-              ":stats :backend :engine :faults :reset :env :p :quit)", file=out)
+              ":stats :metrics :backend :engine :faults :reset :env :p :quit)",
+              file=out)
         return True
+
+    def _metrics_meta(self, rest: str, out: TextIO) -> None:
+        """``:metrics [on|off|reset]``."""
+        word = rest.strip().lower()
+        if word == "on":
+            if self.metrics_on:
+                print("metrics collection is already on", file=out)
+                return
+            obs.metrics.enable()
+            self.metrics_on = True
+            print(
+                "metrics on (superstep/inference spans now aggregate; "
+                ":metrics to view)",
+                file=out,
+            )
+            return
+        if word == "off":
+            if not self.metrics_on:
+                print("metrics collection was not on for this session", file=out)
+                return
+            obs.metrics.disable()
+            self.metrics_on = False
+            print("metrics off (collected values retained; :metrics to view)", file=out)
+            return
+        if word == "reset":
+            obs.metrics.global_registry().reset()
+            print("metrics reset: every series zeroed", file=out)
+            return
+        if word:
+            print("usage: :metrics [on|off|reset]", file=out)
+            return
+        if not self.metrics_on and not obs.metrics.is_enabled():
+            print(
+                "metrics collection is off (:metrics on to start); "
+                "showing the last collected values:",
+                file=out,
+            )
+        print(obs.metrics.render_global(), end="", file=out)
 
     def _trace_meta(self, word: str, rest: str, out: TextIO) -> None:
         """``:trace on|off|save FILE [format]|status``."""
         collector = self.trace_collector
+        # obs.is_tracing() is true whenever *anyone* collects — including
+        # the global metrics sink — so the session's own window state
+        # must be read with is_active(collector).
         if word == "on":
-            if collector is not None and obs.is_tracing():
+            if collector is not None and obs.is_active(collector):
                 print(
                     f"tracing is already on ({len(collector.records)} records)",
                     file=out,
@@ -290,7 +341,7 @@ class Session:
             if collector is None:
                 print("tracing: off", file=out)
             else:
-                state = "on" if obs.is_tracing() else "paused"
+                state = "on" if obs.is_active(collector) else "paused"
                 print(
                     f"tracing: {state}, {len(collector.records)} records on "
                     f"{len(collector.tracks())} tracks",
@@ -411,6 +462,9 @@ def run_repl(
                 return 0
     finally:
         perf.stop(session.perf_stats)
+        if session.metrics_on:
+            obs.metrics.disable()
+            session.metrics_on = False
         if session.trace_collector is not None:
             obs.stop(session.trace_collector)
         if trace_file and session.trace_collector is not None:

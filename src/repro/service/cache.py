@@ -19,6 +19,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
+from repro.obs import metrics
 from repro.perf import counters
 
 V = TypeVar("V")
@@ -65,10 +66,14 @@ class ShardedCache(Generic[V]):
             except KeyError:
                 shard.misses += 1
                 counters.increment("service.cache.miss")
+                if metrics.is_enabled():
+                    metrics.CACHE_REQUESTS_TOTAL.inc(result="miss")
                 return None
             shard.data.move_to_end(key)
             shard.hits += 1
             counters.increment("service.cache.hit")
+            if metrics.is_enabled():
+                metrics.CACHE_REQUESTS_TOTAL.inc(result="hit")
             return value
 
     def put(self, key: str, value: V) -> None:
@@ -80,6 +85,8 @@ class ShardedCache(Generic[V]):
                 shard.data.popitem(last=False)
                 shard.evictions += 1
                 counters.increment("service.cache.evict")
+                if metrics.is_enabled():
+                    metrics.CACHE_REQUESTS_TOTAL.inc(result="evict")
 
     def __contains__(self, key: str) -> bool:
         shard = self._shard(key)

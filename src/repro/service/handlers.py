@@ -60,6 +60,9 @@ class ServiceConfig:
     cache_shards: int = 8
     max_sessions: int = 256
     trace_summaries: bool = True
+    #: Enable the process-global metrics registry (the /v1/metrics
+    #: exposition) for the lifetime of the server.
+    metrics: bool = True
 
 
 class RequestError(Exception):
@@ -380,6 +383,9 @@ class ServiceCore:
                 )
             sid = f"s{next(self._session_ids)}"
             self._sessions[sid] = _Session(sid, use_prelude)
+            live = len(self._sessions)
+        if obs.metrics.is_enabled():
+            obs.metrics.SESSIONS.set(live)
         return 201, serialize({"session": sid, "prelude": use_prelude}), "miss"
 
     def _session(self, sid: str) -> _Session:
@@ -438,6 +444,9 @@ class ServiceCore:
         with self._sessions_lock:
             if self._sessions.pop(sid, None) is None:
                 raise RequestError(404, "not-found", f"no session {sid!r}")
+            live = len(self._sessions)
+        if obs.metrics.is_enabled():
+            obs.metrics.SESSIONS.set(live)
         return 200, serialize({"deleted": sid}), "miss"
 
     # -- introspection ----------------------------------------------------

@@ -19,6 +19,7 @@ Admission control is two-layered:
 Routes::
 
     GET  /healthz                    liveness
+    GET  /v1/metrics                 Prometheus text exposition
     GET  /v1/stats                   counters, cache + intern-pool sizes
     POST /v1/typecheck               {program, p?, prelude?}
     POST /v1/run                     {program, p?, g?, l?, backend?,
@@ -36,9 +37,13 @@ import asyncio
 import contextvars
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.bsp.executor import BACKENDS
+from repro.obs import metrics
+from repro.semantics import ENGINES
 from repro.service.handlers import RequestError, ServiceConfig, ServiceCore, serialize
 
 #: Parser caps — requests breaching them are answered 400/413/431.
@@ -99,10 +104,14 @@ class ReproServer:
         self.peak_inflight = 0
         self.rejected = 0
         self._gauges = threading.Lock()
+        self._metrics_on = False
 
     # -- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
+        if self.core.config.metrics and not self._metrics_on:
+            metrics.enable()
+            self._metrics_on = True
         self._semaphore = asyncio.Semaphore(self.max_concurrency)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -128,6 +137,9 @@ class ReproServer:
         if lingering:
             await asyncio.gather(*lingering, return_exceptions=True)
         self._pool.shutdown(wait=False)
+        if self._metrics_on:
+            metrics.disable()
+            self._metrics_on = False
 
     # -- connection handling ----------------------------------------------
 
@@ -223,14 +235,18 @@ class ReproServer:
         extra: Optional[Dict[str, str]] = None,
     ) -> None:
         reason = _STATUS_TEXT.get(status, "Unknown")
-        lines = [
-            f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(payload)}",
-            f"Connection: {'close' if close else 'keep-alive'}",
-        ]
+        # extra headers override the defaults (case-insensitively), so a
+        # route can replace Content-Type — /v1/metrics answers text/plain.
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(payload)),
+            "Connection": "close" if close else "keep-alive",
+        }
+        canonical = {name.lower(): name for name in headers}
         for name, value in (extra or {}).items():
-            lines.append(f"{name}: {value}")
+            headers[canonical.get(name.lower(), name)] = value
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + payload)
         await writer.drain()
@@ -245,8 +261,17 @@ class ReproServer:
             return 200, serialize({"status": "ok"}), {}
         if method == "GET" and path == "/v1/stats":
             return 200, serialize(self.stats()), {}
+        if method == "GET" and path == "/v1/metrics":
+            # Served inline (like /healthz, bypassing admission control):
+            # a scrape must succeed even when the service is saturated —
+            # that is precisely when its numbers matter most.
+            return (
+                200,
+                metrics.render_global().encode("utf-8"),
+                {"Content-Type": metrics.PROMETHEUS_CONTENT_TYPE},
+            )
 
-        handler = self._route(method, path)
+        route, handler = self._route(method, path)
         if handler is None:
             return (
                 404,
@@ -257,34 +282,51 @@ class ReproServer:
         payload = self._parse_body(body)
         if isinstance(payload, tuple):  # (status, error-bytes)
             return payload[0], payload[1], {}
-        return await self._run_limited(handler, payload)
+        return await self._run_limited(route, handler, payload)
 
     def _route(
         self, method: str, path: str
-    ) -> Optional[Callable[[Dict[str, Any]], Tuple[int, bytes, str]]]:
+    ) -> Tuple[str, Optional[Callable[[Dict[str, Any]], Tuple[int, bytes, str]]]]:
+        """Resolve ``(route name, handler)``.
+
+        The route name is the *pattern* (``/v1/session/{sid}/run``), not
+        the concrete path — session ids must not become metric labels.
+        """
         core = self.core
         if method == "POST":
             if path == "/v1/typecheck":
-                return core.handle_typecheck
+                return "/v1/typecheck", core.handle_typecheck
             if path == "/v1/run":
-                return core.handle_run
+                return "/v1/run", core.handle_run
             if path == "/v1/session":
-                return core.handle_session_create
+                return "/v1/session", core.handle_session_create
         segments = path.strip("/").split("/")
         if len(segments) >= 2 and segments[0] == "v1" and segments[1] == "session":
             if len(segments) == 3:
                 sid = segments[2]
                 if method == "GET":
-                    return lambda _payload: core.handle_session_info(sid)
+                    return (
+                        "/v1/session/{sid}",
+                        lambda _payload: core.handle_session_info(sid),
+                    )
                 if method == "DELETE":
-                    return lambda _payload: core.handle_session_delete(sid)
+                    return (
+                        "/v1/session/{sid}",
+                        lambda _payload: core.handle_session_delete(sid),
+                    )
             if len(segments) == 4 and method == "POST":
                 sid, action = segments[2], segments[3]
                 if action == "define":
-                    return lambda payload: core.handle_session_define(sid, payload)
+                    return (
+                        "/v1/session/{sid}/define",
+                        lambda payload: core.handle_session_define(sid, payload),
+                    )
                 if action == "run":
-                    return lambda payload: core.handle_session_run(sid, payload)
-        return None
+                    return (
+                        "/v1/session/{sid}/run",
+                        lambda payload: core.handle_session_run(sid, payload),
+                    )
+        return "", None
 
     def _parse_body(self, body: bytes):
         if not body:
@@ -309,13 +351,18 @@ class ReproServer:
 
     async def _run_limited(
         self,
+        route: str,
         handler: Callable[[Dict[str, Any]], Tuple[int, bytes, str]],
         payload: Dict[str, Any],
     ) -> Tuple[int, bytes, Dict[str, str]]:
         assert self._semaphore is not None, "server not started"
+        recording = metrics.is_enabled()
         if self._semaphore.locked() and self._waiting >= self.max_queue:
             with self._gauges:
                 self.rejected += 1
+            if recording:
+                metrics.REJECTED_TOTAL.inc()
+                metrics.REQUESTS_TOTAL.inc(route=route, status="429")
             return (
                 429,
                 serialize(
@@ -332,19 +379,45 @@ class ReproServer:
                 {"Retry-After": "1"},
             )
         self._waiting += 1
+        if recording:
+            metrics.WAITING_REQUESTS.inc()
         async with self._semaphore:
             self._waiting -= 1
             with self._gauges:
                 self._inflight += 1
                 self.peak_inflight = max(self.peak_inflight, self._inflight)
+                inflight = self._inflight
+            if recording:
+                metrics.WAITING_REQUESTS.dec()
+                metrics.INFLIGHT_REQUESTS.inc()
+                metrics.PEAK_INFLIGHT.set_to_max(inflight)
             try:
-                return await self._offload(handler, payload)
+                return await self._offload(route, handler, payload)
             finally:
                 with self._gauges:
                     self._inflight -= 1
+                if recording:
+                    metrics.INFLIGHT_REQUESTS.dec()
+
+    @staticmethod
+    def _request_labels(payload: Dict[str, Any]) -> Tuple[str, str]:
+        """Bounded (engine, backend) labels for the latency histogram.
+
+        Values are client-supplied, so anything outside the known engine
+        and backend vocabularies is bucketed as ``other`` — one bad (or
+        adversarial) client must not mint unbounded label cardinality.
+        """
+        engine = payload.get("engine", "-")
+        backend = payload.get("backend", "-")
+        if engine != "-" and engine not in ENGINES:
+            engine = "other"
+        if backend != "-" and backend not in BACKENDS:
+            backend = "other"
+        return str(engine), str(backend)
 
     async def _offload(
         self,
+        route: str,
         handler: Callable[[Dict[str, Any]], Tuple[int, bytes, str]],
         payload: Dict[str, Any],
     ) -> Tuple[int, bytes, Dict[str, str]]:
@@ -353,15 +426,22 @@ class ReproServer:
         def call() -> Tuple[int, bytes, Dict[str, str]]:
             # A fresh Context per request: collection windows the handler
             # opens (perf counters, trace spans for trace_summary) are
-            # request-local, whatever worker thread picks this up.
+            # request-local, whatever worker thread picks this up.  The
+            # metrics observations below are the deliberate exception —
+            # they go to the process-global registry.
             context = contextvars.Context()
+            recording = metrics.is_enabled()
+            started = time.perf_counter() if recording else 0.0
+            cache_state = ""
             try:
                 status, body, cache_state = context.run(handler, payload)
                 extra = {"X-Repro-Cache": cache_state} if cache_state else {}
                 return status, body, extra
             except RequestError as error:
+                status = error.status
                 return error.status, serialize(error.payload()), {}
             except Exception as error:  # noqa: BLE001 - last-resort boundary
+                status = 500
                 return (
                     500,
                     serialize(
@@ -374,6 +454,17 @@ class ReproServer:
                     ),
                     {},
                 )
+            finally:
+                if recording:
+                    engine, backend = self._request_labels(payload)
+                    metrics.REQUEST_SECONDS.observe(
+                        time.perf_counter() - started,
+                        route=route,
+                        engine=engine,
+                        backend=backend,
+                        cache=cache_state or "-",
+                    )
+                    metrics.REQUESTS_TOTAL.inc(route=route, status=str(status))
 
         return await loop.run_in_executor(self._pool, call)
 

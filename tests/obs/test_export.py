@@ -111,6 +111,28 @@ class TestValidator:
         with pytest.raises(ValueError, match="dur"):
             obs.validate_chrome_trace({"traceEvents": events})
 
+    def test_error_reports_index_and_name(self):
+        """The first offending record is identified by index AND name."""
+        events = [
+            {"name": "fine", "ph": "i", "pid": 1, "tid": 0, "ts": 1.0},
+            {"name": "culprit", "ph": "Z", "pid": 1, "tid": 0, "ts": 2.0},
+        ]
+        with pytest.raises(ValueError, match=r"event 1 \('culprit'\)"):
+            obs.validate_chrome_trace({"traceEvents": events})
+
+    def test_monotonicity_error_reports_index_and_name(self):
+        events = [
+            {"name": "a", "ph": "i", "pid": 1, "tid": 0, "ts": 10.0},
+            {"name": "rewound", "ph": "i", "pid": 1, "tid": 0, "ts": 5.0},
+        ]
+        with pytest.raises(ValueError, match=r"event 1 \('rewound'\).*monotonicity"):
+            obs.validate_chrome_trace({"traceEvents": events})
+
+    def test_missing_name_reports_placeholder(self):
+        events = [{"ph": "i", "pid": 1, "tid": 0, "ts": 0.0}]
+        with pytest.raises(ValueError, match=r"event 0 \('<unnamed>'\)"):
+            obs.validate_chrome_trace({"traceEvents": events})
+
 
 class TestJsonl:
     def test_one_line_per_record(self, tmp_path):
@@ -143,8 +165,23 @@ class TestHistograms:
         assert slow.count == 5
         assert slow.p50 == pytest.approx(0.003)
         assert slow.p95 == pytest.approx(0.100)
+        assert slow.p99 == pytest.approx(0.100)
         assert slow.max == pytest.approx(0.100)
         assert slow.total == pytest.approx(0.110)
+        assert slow.mean == pytest.approx(0.022)
+
+    def test_p99_separates_from_p95_on_long_tails(self):
+        collector = obs.start()
+        for i in range(100):
+            obs.record("tail", obs.MACHINE_TRACK, 0.0, 0.001)
+        for ms in (50, 200):
+            obs.record("tail", obs.MACHINE_TRACK, 0.0, ms / 1e3)
+        obs.stop(collector)
+        (row,) = obs.histograms(collector)
+        # 102 samples: rank 97 is still 1 ms, rank 100 catches the tail.
+        assert row.p95 == pytest.approx(0.001)
+        assert row.p99 == pytest.approx(0.050)
+        assert row.max == pytest.approx(0.200)
 
     def test_empty_trace_has_no_histograms(self):
         collector = obs.start()

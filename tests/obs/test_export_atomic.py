@@ -1,0 +1,91 @@
+"""Regression tests: trace exports are atomic (temp file + os.replace).
+
+An exporter that dies mid-write must leave either the previous file
+intact or no file at all — never a truncated trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import export
+
+
+def small_trace() -> obs.Trace:
+    collector = obs.start()
+    obs.record("task", obs.process_track(0), collector.epoch, 0.001, proc=0)
+    obs.event("superstep", obs.MACHINE_TRACK, superstep=0, w_max=1.0, h=0, words=0)
+    obs.stop(collector)
+    return collector
+
+
+class TestAtomicWrites:
+    @pytest.mark.parametrize("suffix", [".json", ".jsonl", ".txt"])
+    def test_no_temp_files_left_behind(self, tmp_path, suffix):
+        obs.write_trace(small_trace(), tmp_path / f"out{suffix}")
+        assert sorted(p.name for p in tmp_path.iterdir()) == [f"out{suffix}"]
+
+    def test_interrupted_write_preserves_previous_file(self, tmp_path, monkeypatch):
+        trace = small_trace()
+        path = tmp_path / "out.json"
+        obs.write_chrome(trace, path)
+        original = path.read_text()
+
+        # Simulate running out of disk (or a crash) halfway through the
+        # write of the *new* content: the file handle write explodes.
+        real_fdopen = os.fdopen
+
+        class _ExplodingHandle:
+            def __init__(self, handle):
+                self._handle = handle
+
+            def write(self, text):
+                self._handle.write(text[: len(text) // 2])
+                raise OSError("disk full")
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._handle.close()
+                return False
+
+        def exploding_fdopen(fd, *args, **kwargs):
+            return _ExplodingHandle(real_fdopen(fd, *args, **kwargs))
+
+        monkeypatch.setattr(export.os, "fdopen", exploding_fdopen)
+        with pytest.raises(OSError, match="disk full"):
+            obs.write_chrome(trace, path)
+        monkeypatch.undo()
+
+        # The previous export is untouched and still valid...
+        assert path.read_text() == original
+        obs.validate_chrome_trace(path)
+        # ...and the failed attempt left no temp file behind.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.json"]
+
+    def test_interrupted_first_write_leaves_no_file(self, tmp_path, monkeypatch):
+        trace = small_trace()
+        path = tmp_path / "fresh.jsonl"
+
+        def exploding_replace(src, dst):
+            raise OSError("rename failed")
+
+        monkeypatch.setattr(export.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="rename failed"):
+            obs.write_jsonl(trace, path)
+        monkeypatch.undo()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_written_files_are_complete(self, tmp_path):
+        trace = small_trace()
+        chrome = obs.write_chrome(trace, tmp_path / "c.json")
+        json.loads(chrome.read_text())  # parses fully — not truncated
+        jsonl = obs.write_jsonl(trace, tmp_path / "l.jsonl")
+        for line in jsonl.read_text().splitlines():
+            json.loads(line)

@@ -6,6 +6,7 @@ survivable fault plan armed, and while >= 8 requests are in flight.
 
 from __future__ import annotations
 
+import http.client
 import os
 import threading
 import time
@@ -13,6 +14,7 @@ import time
 import pytest
 
 from repro import BspParams, infer, prelude_env, run_costed
+from repro.obs.metrics import parse_prometheus
 from repro.core.schemes import generalize
 from repro.lang import parse_program, with_prelude
 from repro.service import ServiceCore, ServiceConfig, start_in_background
@@ -243,7 +245,36 @@ def test_mixed_load_stays_deterministic():
                     with lock:
                         failures.append(f"{name}: wrong answer under load")
 
+        scrapes = {"count": 0, "last": ""}
+
+        def scraper() -> None:
+            # /v1/metrics is served before admission control: every scrape
+            # must succeed and parse, even while the service is saturated.
+            while time.monotonic() < stop_at:
+                try:
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", handle.port, timeout=30.0
+                    )
+                    try:
+                        conn.request("GET", "/v1/metrics")
+                        response = conn.getresponse()
+                        body = response.read().decode("utf-8")
+                    finally:
+                        conn.close()
+                    if response.status != 200:
+                        raise RuntimeError(f"scrape status {response.status}")
+                    parse_prometheus(body)  # raises on malformed exposition
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    with lock:
+                        failures.append(f"metrics scrape: {error}")
+                    return
+                with lock:
+                    scrapes["count"] += 1
+                    scrapes["last"] = body
+                time.sleep(0.05)
+
         pool = [threading.Thread(target=worker, args=(t,)) for t in range(12)]
+        pool.append(threading.Thread(target=scraper))
         for thread in pool:
             thread.start()
         for thread in pool:
@@ -253,5 +284,14 @@ def test_mixed_load_stays_deterministic():
         stats = handle.server.stats()
         assert stats["requests"] >= counts["ok"]
         assert stats["response_cache"]["hits"] > 0  # repeats hit the cache
+        assert scrapes["count"] > 0
+        families = parse_prometheus(scrapes["last"])
+        for family in (
+            "repro_request_seconds",
+            "repro_requests_total",
+            "repro_inflight_requests",
+            "repro_superstep_phase_seconds",
+        ):
+            assert family in families, f"{family} absent from scrape under load"
     finally:
         handle.stop()
