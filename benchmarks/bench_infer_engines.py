@@ -1,0 +1,144 @@
+"""Inference-engine scaling guard: union-find vs substitution engine.
+
+The substitution engine (``engine="w"``) is a literal transcription of
+the paper's Fig. 7 rules: every unification returns a substitution that
+is composed into an accumulator and eagerly applied to the environment,
+so inference over a program with ``n`` binders costs ``O(n)`` full
+environment rewrites — quadratic overall.  The union-find engine
+(``engine="uf"``) keeps mutable representatives outside the hash-consed
+type layer, unifies in place with path compression, and generalizes by
+Remy-style levels, so the same judgments come out near-linear.
+
+Both engines produce bit-identical types, constraints, derivations and
+errors (see tests/core/test_infer_engines.py); this module guards the *point*
+of the second engine — the speedup — and records the scaling curve:
+
+* ``SPEEDUP_FLOOR``: at every AST-size bucket >= ``SPEEDUP_AT_SIZE``
+  the union-find engine must be at least 5x faster than the
+  substitution engine on the same programs.
+
+Run with the tier-1 guard::
+
+    python -m pytest benchmarks/bench_infer_engines.py -q --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.infer import infer
+from repro.core.prelude_env import prelude_env
+from repro.lang.parser import parse_expression as parse
+
+from _util import write_table
+
+SIZES = (30, 100, 250, 500, 1000, 2000)
+SPEEDUP_FLOOR = 5.0
+SPEEDUP_AT_SIZE = 500
+
+
+def _deep_let_program(n: int) -> str:
+    """``n`` nested monomorphic lets — one generalization per binder."""
+    lines = [f"let x{i} = x{i-1} + {i} in" if i else "let x0 = 1 in" for i in range(n)]
+    lines.append(f"x{n-1}")
+    return "\n".join(lines)
+
+
+def _poly_chain_program(n: int) -> str:
+    """``n`` nested *polymorphic* lets, each instantiating the previous.
+
+    Stresses the part the substitution engine is worst at: every binder
+    generalizes against the full environment, and every use re-applies
+    the accumulated substitution to an instantiated scheme.
+    """
+    lines = ["let f0 = fun x -> x in"]
+    lines.extend(f"let f{i} = fun x -> f{i-1} x in" for i in range(1, n))
+    lines.append(f"f{n-1} 1")
+    return "\n".join(lines)
+
+
+def _programs_by_size(sizes=SIZES):
+    """One deep-let and one poly-chain program per target AST size.
+
+    The deep-let shape has ~6 AST nodes per binder and the poly chain
+    ~5, so the binder counts are derived, then the real ``expr.size()``
+    is asserted to land inside the bucket — deterministically, no
+    scanning or retries.
+    """
+    buckets = {}
+    for target in sizes:
+        deep = parse(_deep_let_program(max(2, target // 6)))
+        poly = parse(_poly_chain_program(max(2, target // 5)))
+        for expr in (deep, poly):
+            assert 0.5 * target <= expr.size() <= 1.5 * target, (
+                f"synthetic program missed its size bucket: "
+                f"target {target}, actual {expr.size()}"
+            )
+        buckets[target] = (deep, poly)
+    return buckets
+
+
+def _time_engine(programs, engine: str) -> float:
+    start = time.perf_counter()
+    for program in programs:
+        infer(program, engine=engine)
+    return time.perf_counter() - start
+
+
+def test_union_find_speedup_guard(benchmark):
+    buckets = _programs_by_size()
+    rows = []
+    ratios = {}
+    for target, programs in sorted(buckets.items()):
+        w_seconds = _time_engine(programs, "w")
+        uf_seconds = _time_engine(programs, "uf")
+        ratio = w_seconds / uf_seconds
+        ratios[target] = ratio
+        rows.append(
+            (
+                target,
+                f"{sum(p.size() for p in programs) / len(programs):.0f}",
+                f"{w_seconds * 1e3:.2f}",
+                f"{uf_seconds * 1e3:.2f}",
+                f"{ratio:.1f}x",
+            )
+        )
+    write_table(
+        "infer_engines",
+        "Inference engines: substitution (w) vs union-find (uf), same programs",
+        ("size bucket", "mean AST nodes", "w ms", "uf ms", "speedup"),
+        rows,
+        footer=(
+            f"guard: uf >= {SPEEDUP_FLOOR:.0f}x at size >= {SPEEDUP_AT_SIZE} "
+            "(types/constraints/derivations/errors bit-identical, see "
+            "tests/core/test_infer_engines.py)"
+        ),
+    )
+    for target, ratio in ratios.items():
+        if target >= SPEEDUP_AT_SIZE:
+            assert ratio >= SPEEDUP_FLOOR, (
+                f"union-find engine regressed: only {ratio:.1f}x over the "
+                f"substitution engine at size {target} "
+                f"(floor {SPEEDUP_FLOOR:.0f}x)"
+            )
+    sample = buckets[500][0]
+    benchmark(lambda: infer(sample, engine="uf"))
+
+
+def test_engines_agree_on_prelude_program(benchmark):
+    """Spot conformance inside the bench module itself: a realistic
+    parallel program against the prelude types identically (the full
+    corpus sweep lives in tests/core/test_infer_engines.py)."""
+    env = prelude_env()
+    source = """
+        let sumpair = fun ab -> fst ab + snd ab in
+        let sums = scan sumpair (mkpar (fun i -> i + 1)) in
+        let top = bcast (nproc - 1) sums in
+        apply (mkpar (fun i -> fun t -> t - i), top)
+    """
+    expr = parse(source)
+    w_ct = infer(expr, env, engine="w")
+    uf_ct = infer(expr, env, engine="uf")
+    assert w_ct.type is uf_ct.type
+    assert w_ct.constraint is uf_ct.constraint
+    benchmark(lambda: infer(expr, env, engine="uf"))

@@ -11,8 +11,10 @@
 # warm speedup over the tree evaluator, if the vectorized engine no
 # longer delivers >= 2x over compiled in aggregate at p >= 16 on the
 # costed scaling suite (all with bit-identical BspCost tables and
-# trace signatures), or if disabled metrics cost more than 1.05x of the
-# uninstrumented machine.
+# trace signatures), if the union-find inference engine no longer
+# delivers >= 5x over the substitution engine at AST size >= 500 (with
+# bit-identical types, constraints, derivations and errors), or if
+# disabled metrics cost more than 1.05x of the uninstrumented machine.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,6 +29,9 @@ python -m pytest benchmarks/bench_solver_cache.py -q --benchmark-disable
 
 echo "== compiled + vectorized engine speedup guards =="
 python -m pytest benchmarks/bench_evaluators.py -q --benchmark-disable
+
+echo "== union-find inference engine speedup guard =="
+python -m pytest benchmarks/bench_infer_engines.py -q --benchmark-disable
 
 echo "== disabled-metrics overhead guard =="
 python -m pytest benchmarks/bench_metrics.py -q --benchmark-disable

@@ -18,7 +18,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro import obs, perf, run_program, typecheck_scheme
-from repro.core import TypingError, explain as explain_expr
+from repro.core import INFER_ENGINES, TypingError, explain as explain_expr
 from repro.lang import ParseError, parse_program, pretty, with_prelude
 from repro.lang.errors import ReproError
 from repro.semantics import ENGINES, StuckError, trace as smallstep_trace
@@ -54,11 +54,21 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="like --stats but also list registered caches with zero calls",
     )
+    parser.add_argument(
+        "--infer-engine",
+        choices=INFER_ENGINES,
+        default=None,
+        help="type-inference engine: uf (union-find, near-linear; the "
+        "default) or w (substitution-threading reference); inferred "
+        "types, constraints and errors are engine-independent",
+    )
 
 
 def _command_typecheck(args: argparse.Namespace) -> int:
     expr = _load(args)
-    scheme = typecheck_scheme(expr, use_prelude=not args.no_prelude)
+    scheme = typecheck_scheme(
+        expr, use_prelude=not args.no_prelude, infer_engine=args.infer_engine
+    )
     print(scheme)
     if args.effects:
         from repro.core.effects import analyze_effects
@@ -108,6 +118,7 @@ def _traced_run(args: argparse.Namespace):
             faults=faults,
             retry=retry,
             engine=args.engine,
+            infer_engine=args.infer_engine,
         )
 
     trace_path = getattr(args, "trace", None)
@@ -146,6 +157,7 @@ def _command_profile(args: argparse.Namespace) -> int:
             faults=faults,
             retry=retry,
             engine=args.engine,
+            infer_engine=args.infer_engine,
         )
     print(result.python_value)
     print(result.render())
@@ -361,6 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="initial evaluation engine (also :engine in the session)",
     )
     repl.add_argument(
+        "--infer-engine",
+        choices=INFER_ENGINES,
+        default=None,
+        help="initial type-inference engine (also :infer-engine in the "
+        "session); results are engine-independent, uf is just faster",
+    )
+    repl.add_argument(
         "--faults",
         metavar="SPEC",
         help="arm deterministic fault injection for the session "
@@ -405,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="default evaluation engine (requests may override)",
     )
     serve.add_argument(
+        "--infer-engine",
+        choices=INFER_ENGINES,
+        default=None,
+        help="default type-inference engine (requests may override); "
+        "results are engine-independent, uf is just faster",
+    )
+    serve.add_argument(
         "--max-concurrency",
         type=int,
         default=8,
@@ -445,6 +471,7 @@ def _command_repl(args: argparse.Namespace) -> int:
         trace_file=args.trace,
         trace_format=args.trace_format,
         engine=args.engine,
+        infer_engine=args.infer_engine,
     )
 
 
@@ -459,6 +486,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         l=args.l,
         backend=args.backend,
         engine=args.engine,
+        infer_engine=args.infer_engine or "uf",
         cache_capacity=args.cache_capacity,
         metrics=not args.no_metrics,
     )

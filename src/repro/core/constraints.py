@@ -325,12 +325,18 @@ def assign(constraint: Constraint, var: str, value: bool) -> Constraint:
     return constraint
 
 
+@bounded_memo(SOLVER_CACHE_SIZE, name="constraints.simplify")
 def simplify(constraint: Constraint) -> Constraint:
     """Re-normalize a constraint bottom-up using the smart constructors.
 
     The constructors already keep constraints normalized, so this is a
     cheap identity-or-cleanup pass; it exists for constraints built
-    directly from the dataclass constructors (e.g. in tests).
+    directly from the dataclass constructors (e.g. in tests).  Memoized
+    on the interned node (``constraints.simplify.hit/miss`` in the cache
+    report): :func:`is_satisfiable`, :func:`is_valid` and :func:`solve`
+    all simplify first, and the inference engines re-check overlapping
+    conclusion constraints at every rule boundary, so the same interned
+    nodes come back constantly.
     """
     if isinstance(constraint, CAnd):
         return conj_all(simplify(part) for part in constraint.conjuncts)
@@ -412,6 +418,24 @@ def _horn_satisfiable(clauses) -> bool:
     )
 
 
+@bounded_memo(SOLVER_CACHE_SIZE, name="constraints.horn_satisfiable")
+def horn_satisfiable(constraint: Constraint):
+    """The Horn-satisfiability check, memoized on the interned node.
+
+    Returns ``True``/``False`` for a Horn-shaped constraint and ``None``
+    when the constraint is not Horn (callers fall back to branching).
+    Clause decomposition and least-model propagation both re-run from
+    scratch per constraint, so caching on the interned node — the same
+    identity the hash-cons layer guarantees for structurally equal trees —
+    makes the repeated ``Solve(C)`` checks of a rule's enclosing
+    judgements O(1) after the first.
+    """
+    clauses = _horn_clauses(constraint)
+    if clauses is None:
+        return None
+    return _horn_satisfiable(clauses)
+
+
 def is_satisfiable_branching(constraint: Constraint) -> bool:
     """Complete satisfiability by branching on atoms (reference algorithm)."""
     constraint = simplify(constraint)
@@ -438,9 +462,9 @@ def is_satisfiable(constraint: Constraint) -> bool:
         return True
     if isinstance(constraint, CFalse):
         return False
-    clauses = _horn_clauses(constraint)
-    if clauses is not None:
-        return _horn_satisfiable(clauses)
+    verdict = horn_satisfiable(constraint)
+    if verdict is not None:
+        return verdict
     return is_satisfiable_branching(constraint)
 
 
@@ -502,6 +526,8 @@ def solve(constraint: Constraint) -> Constraint:
 #: Cache registration for ``--stats`` reporting (repro.perf).
 perf.register_cache("constraints.locality", locality)
 perf.register_cache("constraints.basic_constraint", basic_constraint)
+perf.register_cache("constraints.simplify", simplify)
+perf.register_cache("constraints.horn_satisfiable", horn_satisfiable)
 perf.register_cache("constraints.is_satisfiable", is_satisfiable)
 perf.register_cache("constraints.is_valid", is_valid)
 perf.register_cache("constraints.solve", solve)

@@ -19,6 +19,7 @@ judgements of Figures 8, 9 and 10 can be rendered verbatim.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -471,10 +472,52 @@ def raise_nesting(
     raise error
 
 
+# -- engine selection ------------------------------------------------------
+
+#: Inference engines: ``w`` is this module's substitution-threading
+#: Algorithm W (the reference); ``uf`` is the union-find engine of
+#: :mod:`repro.core.uf` (the default — near-linear, bit-identical output,
+#: held to conformance by the differential harness).
+INFER_ENGINES = ("w", "uf")
+
+_default_infer_engine = os.environ.get("REPRO_INFER_ENGINE", "uf")
+
+
+def _validated_infer_engine(name: str) -> str:
+    if name not in INFER_ENGINES:
+        known = ", ".join(INFER_ENGINES)
+        raise ValueError(f"unknown infer engine {name!r} (known: {known})")
+    return name
+
+
+def get_infer_engine() -> str:
+    """The session-default inference engine (``REPRO_INFER_ENGINE`` or ``uf``)."""
+    return _validated_infer_engine(_default_infer_engine)
+
+
+def set_default_infer_engine(name: str) -> str:
+    """Set the session-default inference engine; returns the previous one."""
+    global _default_infer_engine
+    previous = _default_infer_engine
+    _default_infer_engine = _validated_infer_engine(name)
+    return previous
+
+
+def _resolve_infer_engine(engine: Optional[str]) -> str:
+    if engine is None:
+        return get_infer_engine()
+    return _validated_infer_engine(engine)
+
+
 # -- public entry points ---------------------------------------------------
 
 
-def infer(expr: Expr, env: Optional[TypeEnv] = None, prune: bool = True) -> ConstrainedType:
+def infer(
+    expr: Expr,
+    env: Optional[TypeEnv] = None,
+    prune: bool = True,
+    engine: Optional[str] = None,
+) -> ConstrainedType:
     """Infer the constrained type of ``expr``.
 
     Raises a :class:`TypingError` subclass on failure; in particular
@@ -484,46 +527,66 @@ def infer(expr: Expr, env: Optional[TypeEnv] = None, prune: bool = True) -> Cons
     returned constraint only mentions variables of the returned type and
     the environment; acceptance is unaffected (see
     :mod:`repro.core.normalize`).
+
+    ``engine`` picks the implementation (:data:`INFER_ENGINES`); both
+    produce bit-identical results — ``uf`` (the default) in near-linear
+    time, ``w`` as the straightforward reference.
     """
-    engine = Inferencer(prune=prune)
+    if _resolve_infer_engine(engine) == "uf":
+        from repro.core import uf
+
+        return uf.infer(expr, env, prune=prune)
+    inferencer = Inferencer(prune=prune)
     with perf.timed("infer"), obs.span("infer", obs.INFERENCE_TRACK), deep_recursion():
-        ct, _ = engine.infer(env or TypeEnv.empty(), expr)
-        final = engine.subst.apply_constrained(ct)
+        ct, _ = inferencer.infer(env or TypeEnv.empty(), expr)
+        final = inferencer.subst.apply_constrained(ct)
     if prune:
         environment = env or TypeEnv.empty()
-        final = prune_constrained(final, environment.apply(engine.subst).free_vars())
+        final = prune_constrained(final, environment.apply(inferencer.subst).free_vars())
     perf.increment("infer.runs")
     return final
 
 
 def infer_with_derivation(
-    expr: Expr, env: Optional[TypeEnv] = None, prune: bool = False
+    expr: Expr,
+    env: Optional[TypeEnv] = None,
+    prune: bool = False,
+    engine: Optional[str] = None,
 ) -> Tuple[ConstrainedType, Derivation]:
     """Like :func:`infer` but also returns the full derivation tree.
 
     Pruning defaults to off so the derivation shows exactly the
     constraints the paper's rules accumulate (Figures 8-10).
     """
-    engine = Inferencer(prune=prune)
+    if _resolve_infer_engine(engine) == "uf":
+        from repro.core import uf
+
+        return uf.infer_with_derivation(expr, env, prune=prune)
+    inferencer = Inferencer(prune=prune)
     with deep_recursion():
-        ct, derivation = engine.infer(env or TypeEnv.empty(), expr)
-        final = engine.subst.apply_constrained(ct)
-        return final, derivation.resolve(engine.subst)
+        ct, derivation = inferencer.infer(env or TypeEnv.empty(), expr)
+        final = inferencer.subst.apply_constrained(ct)
+        return final, derivation.resolve(inferencer.subst)
 
 
 def infer_scheme(
-    expr: Expr, env: Optional[TypeEnv] = None, prune: bool = True
+    expr: Expr,
+    env: Optional[TypeEnv] = None,
+    prune: bool = True,
+    engine: Optional[str] = None,
 ) -> TypeScheme:
     """Infer and generalize over the (empty by default) environment."""
     environment = env or TypeEnv.empty()
-    ct = infer(expr, environment, prune=prune)
+    ct = infer(expr, environment, prune=prune, engine=engine)
     return generalize(ct, environment)
 
 
-def typechecks(expr: Expr, env: Optional[TypeEnv] = None) -> bool:
+def typechecks(
+    expr: Expr, env: Optional[TypeEnv] = None, engine: Optional[str] = None
+) -> bool:
     """True when ``expr`` is accepted by the type system."""
     try:
-        infer(expr, env)
+        infer(expr, env, engine=engine)
         return True
     except TypingError:
         return False

@@ -11,6 +11,7 @@ constraint ``L(int) => L(int par) = False`` and reject the program.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
@@ -24,6 +25,7 @@ from repro.core.constraints import (
     subst_constraint,
 )
 from repro.core.types import (
+    TVar,
     Type,
     apply_type_subst,
     fresh_tvar,
@@ -31,6 +33,17 @@ from repro.core.types import (
     render_type,
     _variable_display_names,
 )
+
+#: Names for the alpha-renamed bound variables of :meth:`Subst.apply_scheme`.
+#: A private counter rather than :func:`repro.core.types.fresh_tvar`: the
+#: renamed names never escape a scheme (instantiation replaces them with
+#: fresh variables, and display names hide them), so drawing them from the
+#: global counter would only make fresh-variable numbering depend on how
+#: often environments are re-applied — which the differential infer-engine
+#: harness relies on being engine-independent.  The ``q`` hint is reserved
+#: for this counter; no other call site uses it, so the names cannot
+#: collide with globally fresh variables.
+_scheme_rename_counter = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -151,7 +164,10 @@ class Subst:
         """
         if not scheme.quantified:
             return TypeScheme((), self.apply_constrained(scheme.body))
-        renaming = {old: fresh_tvar("q") for old in scheme.quantified}
+        renaming = {
+            old: TVar(f"q{next(_scheme_rename_counter)}")
+            for old in scheme.quantified
+        }
         rename = Subst({old: new for old, new in renaming.items()})
         body = ConstrainedType(
             rename.apply_type(scheme.body.type),

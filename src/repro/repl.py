@@ -23,6 +23,10 @@ Meta-commands::
     :engine [name]   show or switch the evaluation engine
                      (tree/compiled/vectorized); value, cost and trace
                      are engine-independent
+    :infer-engine [name]
+                     show or switch the type-inference engine (w/uf);
+                     inferred types, constraints and errors are
+                     engine-independent — uf is just faster
     :faults [SPEC]   show, arm (e.g. seed=42,crash=0.1,attempts=4) or
                      disarm (:faults off) deterministic fault injection
     :reset           forget definitions and cost
@@ -48,7 +52,7 @@ from repro.bsp.executor import BACKENDS, get_executor
 from repro.bsp.faults import FaultSpecError, parse_fault_spec
 from repro.bsp.machine import BspMachine
 from repro.bsp.params import BspParams
-from repro.core.infer import infer
+from repro.core.infer import INFER_ENGINES, get_infer_engine, infer
 from repro.core.judgments import explain
 from repro.core.prelude_env import prelude_env
 from repro.core.schemes import TypeEnv, generalize
@@ -74,10 +78,12 @@ class Session:
         backend: str = "seq",
         fault_spec: Optional[str] = None,
         engine: str = "tree",
+        infer_engine: Optional[str] = None,
     ) -> None:
         self.params = params or BspParams(p=4, g=1.0, l=20.0)
         self.backend = backend
         self.engine = engine
+        self.infer_engine = infer_engine or get_infer_engine()
         #: The armed ``:faults`` spec (re-armed with a fresh plan, same
         #: seed, on every :meth:`reset`); None when faults are off.
         self.fault_spec = fault_spec
@@ -133,7 +139,7 @@ class Session:
             return False
         if command == ":type":
             expr = self._parse_expr(rest)
-            ct = infer(expr, self.type_env)
+            ct = infer(expr, self.type_env, engine=self.infer_engine)
             print(f"- : {generalize(ct, self.type_env)}", file=out)
             return True
         if command == ":explain":
@@ -209,6 +215,28 @@ class Session:
                 file=out,
             )
             return True
+        if command == ":infer-engine":
+            if not rest:
+                print(
+                    f"infer-engine: {self.infer_engine} "
+                    f"(available: {', '.join(INFER_ENGINES)})",
+                    file=out,
+                )
+                return True
+            if rest not in INFER_ENGINES:
+                known = ", ".join(INFER_ENGINES)
+                print(
+                    f"error: unknown infer engine {rest!r} (known: {known})",
+                    file=out,
+                )
+                return True
+            self.infer_engine = rest
+            print(
+                f"infer-engine switched to {rest} "
+                "(types, constraints and errors are engine-independent)",
+                file=out,
+            )
+            return True
         if command == ":faults":
             if not rest:
                 plan, policy = self.machine.faults, self.machine.retry
@@ -262,7 +290,8 @@ class Session:
             print(f"machine restarted: {self.params.describe()}", file=out)
             return True
         print(f"unknown command {command!r} (try :type :explain :trace :cost "
-              ":stats :metrics :backend :engine :faults :reset :env :p :quit)",
+              ":stats :metrics :backend :engine :infer-engine :faults :reset "
+              ":env :p :quit)",
               file=out)
         return True
 
@@ -374,7 +403,7 @@ class Session:
     def _program(self, line: str, out: TextIO) -> None:
         definitions, final = self._parse_program(line)
         for name, body in definitions:
-            ct = infer(body, self.type_env)
+            ct = infer(body, self.type_env, engine=self.infer_engine)
             scheme = generalize(ct, self.type_env)
             value = self.evaluator.eval(body, dict(self.values))
             self.type_env = self.type_env.extend(name, scheme)
@@ -382,7 +411,7 @@ class Session:
             self.definitions[name] = pretty(body)
             print(f"val {name} : {scheme} = {self._show(value)}", file=out)
         if final is not None:
-            ct = infer(final, self.type_env)
+            ct = infer(final, self.type_env, engine=self.infer_engine)
             value = self.evaluator.eval(final, dict(self.values))
             print(f"- : {ct} = {self._show(value)}", file=out)
 
@@ -424,6 +453,7 @@ def run_repl(
     trace_file: Optional[str] = None,
     trace_format: Optional[str] = None,
     engine: str = "tree",
+    infer_engine: Optional[str] = None,
 ) -> int:
     """Run the REPL loop until EOF or ``:quit``.
 
@@ -440,7 +470,13 @@ def run_repl(
     """
     stdin = input_stream if input_stream is not None else sys.stdin
     out = output_stream if output_stream is not None else sys.stdout
-    session = Session(params, backend=backend, fault_spec=fault_spec, engine=engine)
+    session = Session(
+        params,
+        backend=backend,
+        fault_spec=fault_spec,
+        engine=engine,
+        infer_engine=infer_engine,
+    )
     if trace_file:
         session.trace_collector = obs.start()
     interactive = stdin.isatty() if hasattr(stdin, "isatty") else False

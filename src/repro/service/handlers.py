@@ -31,7 +31,7 @@ from repro.core.constraints import TRUE, constraint_atoms, render_constraint
 from repro.core.digest import expr_digest, program_digest
 from repro.core.errors import TypingError
 from repro.core.incremental import Definition, IncrementalChecker
-from repro.core.infer import infer
+from repro.core.infer import INFER_ENGINES, infer
 from repro.core.prelude_env import prelude_env
 from repro.core.schemes import ConstrainedType, TypeEnv, generalize
 from repro.core.types import _variable_display_names, intern_pool_stats, render_type
@@ -44,7 +44,9 @@ from repro.semantics.values import reify
 from repro.service.cache import ShardedCache
 
 #: Execution knobs a request may override, with the service defaults.
-_REQUEST_KNOBS = ("p", "g", "l", "backend", "engine", "typed", "prelude")
+_REQUEST_KNOBS = (
+    "p", "g", "l", "backend", "engine", "infer_engine", "typed", "prelude"
+)
 
 
 @dataclass
@@ -56,6 +58,9 @@ class ServiceConfig:
     l: float = 20.0
     backend: str = "seq"
     engine: str = "tree"
+    #: Type-inference engine (``w`` or ``uf``); responses are
+    #: engine-independent, ``uf`` is just faster on cold typechecks.
+    infer_engine: str = "uf"
     cache_capacity: int = 1024
     cache_shards: int = 8
     max_sessions: int = 256
@@ -225,6 +230,7 @@ class ServiceCore:
             "l": payload.get("l", config.l),
             "backend": payload.get("backend", config.backend),
             "engine": payload.get("engine", config.engine),
+            "infer_engine": payload.get("infer_engine", config.infer_engine),
             "typed": payload.get("typed", True),
             "prelude": payload.get("prelude", True),
             "faults": payload.get("faults"),
@@ -246,6 +252,13 @@ class ServiceCore:
                 f"engine must be one of {', '.join(ENGINES)}, "
                 f"got {options['engine']!r}",
             )
+        if options["infer_engine"] not in INFER_ENGINES:
+            raise RequestError(
+                400,
+                "bad-request",
+                f"infer_engine must be one of {', '.join(INFER_ENGINES)}, "
+                f"got {options['infer_engine']!r}",
+            )
         if options["faults"] is not None and not isinstance(options["faults"], str):
             raise RequestError(400, "bad-request", "faults must be a spec string")
         return options
@@ -260,14 +273,19 @@ class ServiceCore:
             expr,
             p=options["p"],
             use_prelude=options["prelude"],
-            extra={"endpoint": "typecheck"},
+            extra={
+                "endpoint": "typecheck",
+                # The engines answer bit-identically, but each caches its
+                # own entry so per-engine cold latencies stay measurable.
+                "infer_engine": options["infer_engine"],
+            },
         )
         cached = self.cache.get(digest)
         if cached is not None:
             return 200, cached, "hit"
         env = prelude_env() if options["prelude"] else TypeEnv.empty()
         try:
-            ct = infer(expr, env)
+            ct = infer(expr, env, engine=options["infer_engine"])
         except TypingError as error:
             raise RequestError(422, "type", str(error)) from error
         type_text, constraint_text = _render_constrained(ct)
@@ -319,7 +337,7 @@ class ServiceCore:
         if options["typed"]:
             env = prelude_env() if options["prelude"] else None
             try:
-                ct = infer(expr, env)
+                ct = infer(expr, env, engine=options["infer_engine"])
             except TypingError as error:
                 raise RequestError(422, "type", str(error)) from error
             type_text, constraint_text = _render_constrained(ct)

@@ -440,6 +440,195 @@ def assert_engine_conformance(
     return report
 
 
+# -- infer-engine conformance -------------------------------------------------
+
+
+@dataclass
+class InferRun:
+    """One inference engine's observation of a program.
+
+    ``conclusion`` is the pruned constrained type (the :func:`repro.core.infer`
+    contract); ``full`` and ``derivation`` come from the unpruned
+    ``infer_with_derivation`` pass, so the sweep checks the exact
+    constraint trees the paper's rules accumulate, not just the pruned
+    summary."""
+
+    engine: str
+    conclusion: Any = None
+    full: Any = None
+    derivation: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _derivations_identical(left, right) -> bool:
+    """Structural identity of two derivation trees: same rules, notes,
+    and *interned-node-identical* conclusions at every node."""
+    if left.rule != right.rule or left.note != right.note:
+        return False
+    if (left.conclusion is None) != (right.conclusion is None):
+        return False
+    if left.conclusion is not None and (
+        left.conclusion.type is not right.conclusion.type
+        or left.conclusion.constraint is not right.conclusion.constraint
+    ):
+        return False
+    if len(left.premises) != len(right.premises):
+        return False
+    return all(
+        _derivations_identical(a, b)
+        for a, b in zip(left.premises, right.premises)
+    )
+
+
+@dataclass
+class InferReport:
+    """Every inference engine's observation of one program."""
+
+    description: str
+    runs: List[InferRun] = field(default_factory=list)
+
+    @property
+    def reference(self) -> InferRun:
+        """The first engine run — by convention the substitution engine."""
+        return self.runs[0]
+
+    @property
+    def conforms(self) -> bool:
+        """True when every engine observed **bit-identical** results:
+        the same interned type and constraint nodes (pruned and
+        unpruned), identical derivation trees, and — on rejected
+        programs — the same error type and message."""
+        reference = self.reference
+        for run in self.runs[1:]:
+            if run.error != reference.error:
+                return False
+            if not reference.ok:
+                continue
+            if (
+                run.conclusion.type is not reference.conclusion.type
+                or run.conclusion.constraint is not reference.conclusion.constraint
+            ):
+                return False
+            if (
+                run.full.type is not reference.full.type
+                or run.full.constraint is not reference.full.constraint
+            ):
+                return False
+            if not _derivations_identical(run.derivation, reference.derivation):
+                return False
+        return True
+
+    def explain(self) -> str:
+        lines = [
+            f"infer-engine run of {self.description}:",
+            f"  verdict: {'CONFORMS' if self.conforms else 'DIVERGES'}",
+        ]
+        reference = self.reference
+        for run in self.runs:
+            lines.append(f"  [{run.engine}]")
+            if run.error is not None:
+                lines.append(f"    error: {run.error}")
+                continue
+            lines.append(f"    type: {run.conclusion}")
+            if run is not reference and reference.ok:
+                if run.full.constraint is not reference.full.constraint:
+                    lines.append(
+                        f"    unpruned constraint differs: {run.full}"
+                        f" vs {reference.full}"
+                    )
+                if not _derivations_identical(run.derivation, reference.derivation):
+                    lines.append("    derivation tree differs from reference")
+        return "\n".join(lines)
+
+
+def run_infer_engines(
+    program: Union[str, Expr],
+    engines: Optional[Sequence[str]] = None,
+    use_prelude: Optional[bool] = None,
+) -> InferReport:
+    """Infer the type of ``program`` under every inference engine.
+
+    Both engines draw their fresh type variables from
+    ``repro.core.types._fresh_counter``; the sweep snapshots the counter
+    and rewinds it before each engine's runs so the engines see literally
+    the same fresh names — with hash-consing, equal results are then
+    *identical* interned nodes, and the comparison (and the raw variable
+    names inside error messages) is exact.  The prelude environment is
+    forced before the snapshot so its one-time construction cannot skew
+    the first engine's numbering.
+
+    Each engine runs twice from the same counter position: once through
+    :func:`repro.core.infer.infer` (pruned, the public contract) and once
+    through ``infer_with_derivation`` (unpruned, full derivation tree).
+    """
+    import itertools
+
+    import repro.core.types as core_types
+    from repro.core.errors import TypingError
+    from repro.core.infer import (
+        INFER_ENGINES,
+        infer,
+        infer_with_derivation,
+    )
+    from repro.core.prelude_env import prelude_env
+
+    if engines is None:
+        engines = INFER_ENGINES
+    expr = parse_program(program) if isinstance(program, str) else program
+    prelude = use_prelude if use_prelude is not None else isinstance(program, str)
+    env = prelude_env() if prelude else None
+    report = InferReport(_describe(program))
+    base = next(core_types._fresh_counter)
+    for engine in engines:
+        run = InferRun(engine)
+        core_types._fresh_counter = itertools.count(base)
+        try:
+            run.conclusion = infer(expr, env, engine=engine)
+            core_types._fresh_counter = itertools.count(base)
+            run.full, run.derivation = infer_with_derivation(
+                expr, env, engine=engine
+            )
+        except TypingError as error:
+            run.error = _observe_error(error)
+        report.runs.append(run)
+    return report
+
+
+def assert_infer_conformance(
+    program: Union[str, Expr],
+    engines: Optional[Sequence[str]] = None,
+    use_prelude: Optional[bool] = None,
+    require_success: bool = False,
+) -> InferReport:
+    """Run the infer-engine sweep and raise on any divergence.
+
+    With ``require_success`` the program must also typecheck (an
+    agreed-upon rejection is otherwise conforming — *error parity* is
+    part of the contract)."""
+    report = run_infer_engines(program, engines, use_prelude)
+    if not report.conforms:
+        raise AssertionError(report.explain())
+    if require_success and not all(run.ok for run in report.runs):
+        raise AssertionError(report.explain())
+    return report
+
+
+def infer_conformance_corpus() -> List[Tuple[str, str]]:
+    """The corpus the infer-engine sweep runs: everything
+    :func:`conformance_corpus` covers **plus** the curated rejected
+    programs (the sweep checks error parity on those)."""
+    from repro.testing.generators import CORPUS_REJECTED
+
+    corpus = conformance_corpus()
+    for index, source in enumerate(CORPUS_REJECTED):
+        corpus.append((f"rejected[{index}]", source))
+    return corpus
+
+
 # -- chaos conformance --------------------------------------------------------
 
 #: Default per-site fault rates for the chaos sweep: high enough that

@@ -251,3 +251,80 @@ class TestRendering:
 
     def test_names_mapping(self):
         assert render_constraint(CLoc("t42"), {"t42": "'z"}) == "L('z)"
+
+
+class TestSimplifyAndHornMemoization:
+    """``simplify`` and ``horn_satisfiable`` are memoized on interned
+    node identity in eviction-counting :class:`BoundedMemo` caches, and
+    surface through the same ``--stats``/``/v1/stats`` machinery as the
+    other solver caches."""
+
+    def _distinct_constraint(self, i: int):
+        # Distinct interned nodes per i: an implication chain over
+        # uniquely-named atoms (never reused elsewhere in the suite).
+        return imp(CLoc(f"memo{i}a"), conj(CLoc(f"memo{i}b"), CLoc(f"memo{i}c")))
+
+    def test_simplify_hits_on_repeated_interned_node(self):
+        node = self._distinct_constraint(10_000)
+        simplify.cache_clear()
+        first = simplify(node)
+        info_after_miss = simplify.cache_info()
+        second = simplify(node)
+        info_after_hit = simplify.cache_info()
+        assert first is second
+        assert info_after_hit.hits == info_after_miss.hits + 1
+        assert info_after_hit.misses == info_after_miss.misses
+
+    def test_horn_satisfiable_hits_on_repeated_interned_node(self):
+        from repro.core.constraints import horn_satisfiable
+
+        node = self._distinct_constraint(20_000)
+        horn_satisfiable.cache_clear()
+        first = horn_satisfiable(node)
+        misses = horn_satisfiable.cache_info().misses
+        second = horn_satisfiable(node)
+        assert first == second is True
+        assert horn_satisfiable.cache_info().misses == misses
+        assert horn_satisfiable.cache_info().hits >= 1
+
+    def test_simplify_evicts_under_small_bound(self):
+        from repro.core.constraints import SOLVER_CACHE_SIZE
+
+        import repro.perf as perf
+
+        perf.resize_registered(8, prefix="constraints.simplify")
+        try:
+            simplify.cache_clear()
+            evictions_before = simplify.evictions
+            for i in range(30_000, 30_064):
+                simplify(self._distinct_constraint(i))
+            assert simplify.evictions > evictions_before
+            # Capacity is respected: at most 8 live entries.
+            assert simplify.cache_info().currsize <= 8
+        finally:
+            perf.resize_registered(SOLVER_CACHE_SIZE, prefix="constraints.simplify")
+            simplify.cache_clear()
+
+    def test_both_caches_registered_for_stats(self):
+        import repro.perf as perf
+
+        names = set(perf.registered_caches())
+        assert "constraints.simplify" in names
+        assert "constraints.horn_satisfiable" in names
+
+    def test_counters_surface_in_stats_render(self):
+        import repro.perf as perf
+
+        from repro.core.constraints import horn_satisfiable
+
+        with perf.collect() as stats:
+            for i in range(40_000, 40_004):
+                simplify(self._distinct_constraint(i))
+                simplify(self._distinct_constraint(i))
+                horn_satisfiable(self._distinct_constraint(i))
+        reports = {report.name: report for report in stats.cache_reports()}
+        assert reports["constraints.simplify"].hits >= 4
+        assert reports["constraints.simplify"].misses >= 4
+        rendered = stats.render()
+        assert "constraints.simplify" in rendered
+        assert "constraints.horn_satisfiable" in rendered

@@ -57,6 +57,37 @@ class TestTypecheck:
         assert code == 1  # unbound without the prelude
 
 
+class TestInferEngineFlag:
+    @pytest.mark.parametrize("engine", ("w", "uf"))
+    def test_typecheck_same_output_per_engine(self, capsys, engine):
+        code, out, _ = run_cli(
+            capsys, "typecheck", "--infer-engine", engine, "-e",
+            "let f = fun x -> x in (f 1, f true)",
+        )
+        assert code == 0
+        assert "int * bool" in out
+
+    @pytest.mark.parametrize("engine", ("w", "uf"))
+    def test_rejection_identical_per_engine(self, capsys, engine):
+        code, _, err = run_cli(
+            capsys, "typecheck", "--infer-engine", engine, "-e",
+            "fst (1, mkpar (fun i -> i))",
+        )
+        assert code == 1
+        assert "nesting" in err
+
+    def test_run_accepts_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--infer-engine", "w", "-e", "1 + 2"
+        )
+        assert code == 0
+        assert "3" in out
+
+    def test_unknown_engine_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "typecheck", "--infer-engine", "turbo", "-e", "1")
+
+
 class TestRun:
     def test_runs_and_prints_value(self, capsys):
         code, out, _ = run_cli(

@@ -75,6 +75,37 @@ class TestBasics:
         assert body["server"]["max_concurrency"] == 8
         assert body["response_cache"]["capacity"] >= 4096
 
+    def test_stats_lists_simplify_and_horn_caches(self, client):
+        client.request("POST", "/v1/typecheck", {"program": "mkpar (fun i -> i)"})
+        _, body, _ = client.request("GET", "/v1/stats")
+        for name in ("constraints.simplify", "constraints.horn_satisfiable"):
+            assert name in body["solver_caches"]
+            assert "hits" in body["solver_caches"][name]
+
+    def test_typecheck_infer_engine_knob(self, client):
+        program = {"program": "let f = fun x -> x in (f 1, f true)"}
+        _, body_w, _ = client.request(
+            "POST", "/v1/typecheck", {**program, "infer_engine": "w"}
+        )
+        _, body_uf, _ = client.request(
+            "POST", "/v1/typecheck", {**program, "infer_engine": "uf"}
+        )
+        assert body_w["type"] == body_uf["type"]
+        assert body_w["constraints"] == body_uf["constraints"]
+        assert body_w["scheme"] == body_uf["scheme"]
+        # Each engine caches its own entry so cold latencies stay
+        # measurable per engine.
+        assert body_w["digest"] != body_uf["digest"]
+
+    def test_typecheck_rejects_unknown_infer_engine(self, client):
+        status, body, _ = client.request(
+            "POST",
+            "/v1/typecheck",
+            {"program": "1 + 1", "infer_engine": "bogus"},
+        )
+        assert status == 400
+        assert "infer_engine" in body["error"]["message"]
+
 
 class TestCliIntegration:
     def test_serve_subcommand_is_registered(self):
